@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the simulator substrates themselves.
+
+These measure simulator *throughput* (simulated instructions per host
+second, structure operations per second), not modelled performance —
+useful when optimising the hot loops.
+"""
+
+import random
+
+from repro.branch.predictors import TournamentPredictor
+from repro.core import CoreConfig
+from repro.core.pipeline import Simulator
+from repro.memory import Cache, CacheConfig
+from repro.workloads import SPEC95_PROFILES, SyntheticTraceGenerator
+
+
+def test_detailed_simulation_throughput(benchmark):
+    def run():
+        sim = Simulator(CoreConfig.base(), [SPEC95_PROFILES["m88ksim"]], seed=0)
+        sim.functional_warmup(10_000)
+        sim.run(3_000)
+        return sim.stats.retired
+
+    retired = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert retired >= 3_000
+
+
+def test_functional_warmup_throughput(benchmark):
+    def run():
+        sim = Simulator(CoreConfig.base(), [SPEC95_PROFILES["gcc"]], seed=0)
+        sim.functional_warmup(50_000)
+        return sim
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_trace_generation_throughput(benchmark):
+    def run():
+        gen = SyntheticTraceGenerator(SPEC95_PROFILES["gcc"], seed=0)
+        for _ in range(20_000):
+            gen.next_op()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_cache_access_throughput(benchmark):
+    cache = Cache(CacheConfig(name="bench", size_bytes=64 * 1024,
+                              line_bytes=64, assoc=2, hit_latency=3))
+    rng = random.Random(0)
+    addresses = [rng.randrange(1 << 20) & ~63 for _ in range(20_000)]
+
+    def run():
+        for addr in addresses:
+            cache.access(addr)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_predictor_throughput(benchmark):
+    predictor = TournamentPredictor()
+    rng = random.Random(0)
+    branches = [(rng.randrange(256) * 4, rng.random() < 0.7)
+                for _ in range(20_000)]
+
+    def run():
+        for pc, taken in branches:
+            predictor.predict(pc)
+            predictor.update(pc, taken)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,43 @@
+"""Regenerates Figure 4: performance vs pipeline length.
+
+Paper shape: every workload loses performance as the decode-to-execute
+region grows from 6 to 18 cycles; losses reach ~20-25 % for the branchy
+integer codes; the memory-bound codes (hydro2d, mgrid) and the low-ILP
+code (apsi) are the flattest; SMT pairs lose less than their worst
+component.
+"""
+
+from benchmarks.conftest import run_once, save_result
+from repro.experiments import run_figure4
+
+
+def test_fig4_pipeline_length(benchmark, settings, results_dir):
+    result = run_once(benchmark, run_figure4, settings)
+    save_result(results_dir, "fig4", result.render())
+    print()
+    print(result.render())
+
+    rows = result.rows
+    # every workload pays for a longer pipeline
+    for workload, values in rows.items():
+        assert values[-1] < 1.0, workload
+        # and the series is (weakly) downward overall
+        assert values[-1] <= values[0]
+
+    # branchy integer codes are the most sensitive
+    for branchy in ("compress", "gcc", "go"):
+        assert result.loss_at_longest(branchy) > 0.15, branchy
+
+    # m88ksim is the least sensitive integer benchmark
+    for other in ("compress", "gcc", "go"):
+        assert result.loss_at_longest("m88ksim") < result.loss_at_longest(other)
+
+    # memory-bound and low-ILP codes are the flattest
+    for flat in ("hydro2d", "mgrid", "apsi"):
+        assert result.loss_at_longest(flat) < 0.20, flat
+
+    # SMT damps the loss below the worst component (paper §3.1)
+    assert result.loss_at_longest("go+su2cor") < result.loss_at_longest("go")
+    assert result.loss_at_longest("m88ksim+compress") < result.loss_at_longest(
+        "compress"
+    )

@@ -1,0 +1,40 @@
+"""Regenerates Figure 9: operand sources under the 7_3 DRA.
+
+Paper shape: on average more than half of all operands are read from
+the forwarding buffer; the remainder is split between register-file
+pre-reads and the cluster register caches; operand miss rates are well
+under 1 % for every workload except apsi (~1.5 %).
+"""
+
+from benchmarks.conftest import run_once, save_result
+from repro.analysis.metrics import mean
+from repro.core import OperandSource
+from repro.experiments import run_figure9
+
+
+def test_fig9_operand_sources(benchmark, settings, results_dir):
+    result = run_once(benchmark, run_figure9, settings)
+    save_result(results_dir, "fig9", result.render())
+    print()
+    print(result.render())
+
+    rows = result.rows
+    # fractions partition the reads
+    for workload, fractions in rows.items():
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9, workload
+        assert fractions[OperandSource.REGFILE] == 0.0, workload
+
+    # more than half of operands come from the forwarding buffer
+    fwd = [f[OperandSource.FORWARD] for f in rows.values()]
+    assert mean(fwd) > 0.5
+
+    # pre-read and the CRCs both carry real traffic
+    assert mean([f[OperandSource.PREREAD] for f in rows.values()]) > 0.10
+    assert mean([f[OperandSource.CRC] for f in rows.values()]) > 0.03
+
+    # miss rates: well under 1 % everywhere except apsi's ~1.5 %
+    for workload, fractions in rows.items():
+        if workload in ("apsi", "apsi+swim"):
+            continue
+        assert fractions[OperandSource.MISS] < 0.01, workload
+    assert rows["apsi"][OperandSource.MISS] > 0.01

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Print the micro-architectural loop framework tables (paper §1).
+
+Shows the loop inventory — length, feedback delay, loop delay,
+tight/loose classification, minimum mis-speculation impact — for the
+base machine, a stretched machine, the DRA machine, and the paper's
+Alpha 21264 worked examples.
+
+Usage::
+
+    python examples/loop_inventory.py
+"""
+
+from repro import CoreConfig
+from repro.experiments import render_loop_inventory
+
+
+def main() -> None:
+    print(render_loop_inventory(CoreConfig.base()))
+    print()
+    print(render_loop_inventory(CoreConfig.base(rf_read_latency=7)))
+    print()
+    print(render_loop_inventory(CoreConfig.with_dra(rf_read_latency=7)))
+
+
+if __name__ == "__main__":
+    main()

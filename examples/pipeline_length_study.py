@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: an architect exploring pipeline depth and balance.
+
+Reproduces the paper's core argument on a subset of workloads:
+
+1. the loop inventory of the machine (which loops get longer);
+2. Figure 4 — raw pipeline-length sensitivity;
+3. Figure 5 — at a fixed total length, where the stages sit matters,
+   because only the IQ->EX segment is traversed by the load loop.
+
+Usage::
+
+    python examples/pipeline_length_study.py [workload ...]
+"""
+
+import sys
+
+from repro.experiments import (
+    ExperimentSettings,
+    render_loop_inventory,
+    run_figure4,
+    run_figure5,
+)
+
+DEFAULT_WORKLOADS = ("compress", "m88ksim", "swim", "mgrid")
+
+
+def main() -> None:
+    workloads = tuple(sys.argv[1:]) or DEFAULT_WORKLOADS
+    settings = ExperimentSettings(instructions=8_000)
+
+    print(render_loop_inventory())
+    print()
+
+    fig4 = run_figure4(settings, workloads=workloads)
+    print(fig4.render())
+    print()
+    worst = max(workloads, key=fig4.loss_at_longest)
+    flattest = min(workloads, key=fig4.loss_at_longest)
+    print(f"most pipeline-sensitive: {worst} "
+          f"(-{fig4.loss_at_longest(worst):.1%} at 18 cycles)")
+    print(f"least pipeline-sensitive: {flattest} "
+          f"(-{fig4.loss_at_longest(flattest):.1%} at 18 cycles)")
+    print()
+
+    fig5 = run_figure5(settings, workloads=workloads)
+    print(fig5.render())
+    print()
+    for workload in workloads:
+        print(f"{workload:>10s}: moving 6 cycles out of IQ->EX buys "
+              f"{fig5.gain_at_best(workload):+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Scenario: watching loose loops in a pipeview-style trace.
+
+Prints per-instruction stage timelines for the base machine and the
+DRA machine.  Look for loads followed by dependents with
+``(issues=2)`` — those are load-resolution-loop mis-speculations
+replaying from the IQ — and for the shorter I→X distance (IQ→EX) under
+the DRA.
+
+Usage::
+
+    python examples/pipeline_trace.py [workload] [count]
+"""
+
+import sys
+
+from repro import CoreConfig
+from repro.analysis import collect_trace, render_pipetrace
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+
+    for config in (CoreConfig.base(rf_read_latency=5),
+                   CoreConfig.with_dra(rf_read_latency=5)):
+        print(f"=== {config.label} on {workload} "
+              f"(IQ->EX = {config.iq_ex} cycles)")
+        rows = collect_trace(workload, config, instructions=count)
+        print(render_pipetrace(rows))
+        replays = sum(1 for r in rows if r.issue_count > 1)
+        mean_latency = sum(r.latency for r in rows) / len(rows)
+        print(f"\nreplayed instructions: {replays}/{len(rows)}, "
+              f"mean fetch-to-retire latency {mean_latency:.1f} cycles\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the base machine and the DRA.
+
+Runs the paper's archetypal load-resolution-loop workload (swim) on the
+base 5_5 pipeline and on the DRA 5_3 pipeline (register-file read moved
+out of the issue-to-execute path), then prints the headline comparison.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import CoreConfig, OperandSource, simulate
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    instructions = 10_000
+
+    print(f"workload: {workload} ({instructions} measured instructions)\n")
+
+    base = simulate(workload, CoreConfig.base(rf_read_latency=3),
+                    instructions=instructions)
+    dra = simulate(workload, CoreConfig.with_dra(rf_read_latency=3),
+                   instructions=instructions)
+
+    for result in (base, dra):
+        stats = result.stats
+        print(f"--- {result.config.label}")
+        print(f"  IPC                  {result.ipc:6.2f}")
+        print(f"  cycles               {stats.measured_cycles:6d}")
+        print(f"  branch mispredicts   {stats.branch_mispredict_rate:6.1%}")
+        print(f"  L1D load miss rate   {stats.load_l1_miss_rate:6.1%}")
+        print(f"  load mis-speculation {stats.load_misspeculations:6d}")
+        print(f"  reissues (useless)   {stats.total_reissues:6d}")
+        print(f"  avg IQ occupancy     {stats.avg_iq_occupancy:6.1f}")
+        if result.config.dra is not None:
+            fractions = stats.operand_source_fractions()
+            print(f"  operands: pre-read   {fractions[OperandSource.PREREAD]:6.1%}")
+            print(f"            forwarding {fractions[OperandSource.FORWARD]:6.1%}")
+            print(f"            CRC        {fractions[OperandSource.CRC]:6.1%}")
+            print(f"            miss       {fractions[OperandSource.MISS]:6.2%}")
+        print()
+
+    change = dra.speedup_over(base) - 1.0
+    print(f"DRA speedup over base: {change:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of "Loose Loops Sink Chips" (HPCA 2002).
+
+A cycle-level, out-of-order, SMT processor simulator built around the
+paper's micro-architectural *loop* framework, including the paper's
+contribution: the Distributed Register Algorithm (DRA), which moves the
+register-file read out of the issue-to-execute path and serves operands
+from a pre-read payload, a forwarding buffer, and per-cluster register
+caches.
+
+Quickstart::
+
+    from repro import CoreConfig, simulate
+
+    base = simulate("swim", CoreConfig.base(rf_read_latency=3))
+    dra = simulate("swim", CoreConfig.with_dra(rf_read_latency=3))
+    print(dra.ipc / base.ipc)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core import (
+    CoreConfig,
+    CoreStats,
+    DRAConfig,
+    LoadRecovery,
+    OperandSource,
+    SimResult,
+    Simulator,
+    simulate,
+)
+from repro.loops import (
+    Loop,
+    LoopKind,
+    alpha_21264_loops,
+    attribute_slowdown,
+    build_ledger,
+    loops_for_config,
+)
+from repro.presets import MACHINE_PRESETS, preset
+from repro.workloads import (
+    ALL_WORKLOADS,
+    SPEC95_PROFILES,
+    SyntheticTraceGenerator,
+    WorkloadProfile,
+    workload_profiles,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "DRAConfig",
+    "LoadRecovery",
+    "CoreStats",
+    "OperandSource",
+    "Simulator",
+    "SimResult",
+    "simulate",
+    "Loop",
+    "LoopKind",
+    "alpha_21264_loops",
+    "loops_for_config",
+    "build_ledger",
+    "attribute_slowdown",
+    "MACHINE_PRESETS",
+    "preset",
+    "ALL_WORKLOADS",
+    "SPEC95_PROFILES",
+    "WorkloadProfile",
+    "SyntheticTraceGenerator",
+    "workload_profiles",
+    "__version__",
+]

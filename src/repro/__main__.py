@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro`` or ``loopsim``.
+
+Subcommands::
+
+    loopsim run swim --dra --rf 5          one simulation, full stats
+    loopsim fig4 [--workloads a,b] ...     regenerate a paper figure
+    loopsim fig5 / fig6 / fig8 / fig9
+    loopsim ablations                      recovery/CRC/FB/... studies
+    loopsim loops [--dra|--machine NAME]   the §1 loop inventory
+    loopsim trace swim -n 24               pipeview-style timeline
+    loopsim workloads                      list the Spec95 stand-ins
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import CoreConfig, LoadRecovery, simulate
+from repro.experiments import (
+    ExperimentSettings,
+    render_loop_inventory,
+    run_centralization_ablation,
+    run_crc_ablation,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure8,
+    run_figure9,
+    run_forwarding_ablation,
+    run_iq_size_ablation,
+    run_memdep_ablation,
+    run_recovery_ablation,
+    run_rf_ports_ablation,
+    run_slotting_ablation,
+    run_wake_lead_ablation,
+)
+from repro.workloads import ALL_WORKLOADS, SPEC95_PROFILES, SMT_PAIRS
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        instructions=args.instructions,
+        seeds=tuple(range(args.seeds)),
+    )
+
+
+def _workloads(args: argparse.Namespace) -> Sequence[str]:
+    if args.workloads:
+        return tuple(args.workloads.split(","))
+    return ALL_WORKLOADS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instructions", type=int, default=10_000,
+        help="measured instructions per run (default 10000)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds to average (default 1)",
+    )
+    parser.add_argument(
+        "--workloads", default="",
+        help="comma-separated workload subset (default: all 13)",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.dra:
+        config = CoreConfig.with_dra(args.rf)
+    else:
+        config = CoreConfig.base(args.rf)
+    if args.recovery:
+        config = config.replace(load_recovery=LoadRecovery(args.recovery))
+    result = simulate(
+        args.workload, config, instructions=args.instructions, seed=args.seed
+    )
+    stats = result.stats
+    print(result.describe())
+    print()
+    for key, value in stats.summary().items():
+        print(f"  {key:26s} {value:12.4f}")
+    if config.dra is not None:
+        print()
+        for source, fraction in stats.operand_source_fractions().items():
+            print(f"  operand {source.value:18s} {fraction:12.4%}")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    name = args.figure
+    if name == "fig4":
+        print(run_figure4(settings, workloads=_workloads(args)).render())
+    elif name == "fig5":
+        print(run_figure5(settings, workloads=_workloads(args)).render())
+    elif name == "fig6":
+        print(run_figure6(settings).render())
+    elif name == "fig8":
+        print(run_figure8(settings, workloads=_workloads(args)).render())
+    elif name == "fig9":
+        print(run_figure9(settings, workloads=_workloads(args)).render())
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    kwargs = {"workloads": workloads} if workloads else {}
+    for runner in (
+        run_recovery_ablation,
+        run_crc_ablation,
+        run_forwarding_ablation,
+        run_slotting_ablation,
+        run_centralization_ablation,
+        run_memdep_ablation,
+        run_wake_lead_ablation,
+        run_iq_size_ablation,
+        run_rf_ports_ablation,
+    ):
+        print(runner(settings, **kwargs).render())
+        print()
+    return 0
+
+
+def _cmd_loops(args: argparse.Namespace) -> int:
+    if getattr(args, "machine", ""):
+        from repro.presets import preset
+
+        config = preset(args.machine)
+    elif args.dra:
+        config = CoreConfig.with_dra(args.rf)
+    else:
+        config = CoreConfig.base(args.rf)
+    print(render_loop_inventory(config))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.pipetrace import collect_trace, render_pipetrace
+
+    if args.dra:
+        config = CoreConfig.with_dra(args.rf)
+    else:
+        config = CoreConfig.base(args.rf)
+    rows = collect_trace(
+        args.workload, config, instructions=args.instructions, skip=args.skip
+    )
+    print(render_pipetrace(rows))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print("single-threaded workloads:")
+    for name, profile in SPEC95_PROFILES.items():
+        print(f"  {name:10s} {profile.description.strip().splitlines()[0]}")
+    print("\nSMT pairs:")
+    for name, parts in SMT_PAIRS.items():
+        print(f"  {name:18s} = {' + '.join(parts)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loopsim",
+        description=(
+            "Loose Loops Sink Chips (HPCA 2002) reproduction: cycle-level "
+            "OoO SMT simulator with the Distributed Register Algorithm"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument("workload", choices=ALL_WORKLOADS)
+    run_parser.add_argument("--dra", action="store_true",
+                            help="use the DRA pipeline")
+    run_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7),
+                            help="register-file read latency")
+    run_parser.add_argument("--recovery", default="",
+                            choices=("", "reissue", "refetch", "stall"),
+                            help="load-miss recovery policy")
+    run_parser.add_argument("--instructions", type=int, default=10_000)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.set_defaults(func=_cmd_run)
+
+    for name in ("fig4", "fig5", "fig6", "fig8", "fig9"):
+        fig_parser = sub.add_parser(name, help=f"regenerate paper {name}")
+        _add_common(fig_parser)
+        fig_parser.set_defaults(func=_cmd_fig, figure=name)
+
+    ablations_parser = sub.add_parser("ablations", help="run design ablations")
+    _add_common(ablations_parser)
+    ablations_parser.set_defaults(func=_cmd_ablations)
+
+    loops_parser = sub.add_parser("loops", help="print the loop inventory")
+    loops_parser.add_argument("--dra", action="store_true")
+    loops_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7))
+    loops_parser.add_argument(
+        "--machine", default="",
+        help="named preset: alpha21264, base, pentium4",
+    )
+    loops_parser.set_defaults(func=_cmd_loops)
+
+    workloads_parser = sub.add_parser("workloads", help="list workloads")
+    workloads_parser.set_defaults(func=_cmd_workloads)
+
+    trace_parser = sub.add_parser(
+        "trace", help="pipeview-style per-instruction timeline"
+    )
+    trace_parser.add_argument("workload", choices=ALL_WORKLOADS)
+    trace_parser.add_argument("--dra", action="store_true")
+    trace_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7))
+    trace_parser.add_argument("-n", "--instructions", type=int, default=32)
+    trace_parser.add_argument("--skip", type=int, default=2_000)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

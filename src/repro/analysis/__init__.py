@@ -1,0 +1,32 @@
+"""Analysis and reporting utilities.
+
+Metrics (speedups, rates), empirical CDFs (Figure 6), and plain-text
+table/figure rendering shared by the experiment drivers, benchmarks and
+examples.
+"""
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    percent,
+    speedup,
+)
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.pipetrace import TraceRow, collect_trace, render_pipetrace
+from repro.analysis.report import (
+    format_heading,
+    format_table,
+    render_series,
+)
+
+__all__ = [
+    "speedup",
+    "geometric_mean",
+    "percent",
+    "EmpiricalCDF",
+    "format_table",
+    "format_heading",
+    "render_series",
+    "TraceRow",
+    "collect_trace",
+    "render_pipetrace",
+]

@@ -1,0 +1,53 @@
+"""Empirical cumulative distribution functions.
+
+Figure 6 of the paper is the CDF of the time between the availability of
+an instruction's first and second operands; the simulator collects the
+samples and this class turns them into the plotted curve.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+
+class EmpiricalCDF:
+    """An empirical CDF over integer-valued samples."""
+
+    def __init__(self, samples: Iterable[int]):
+        self._samples: List[int] = sorted(samples)
+        if not self._samples:
+            raise ValueError("CDF requires at least one sample")
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def at(self, x: float) -> float:
+        """P(sample <= x)."""
+        return bisect_right(self._samples, x) / len(self._samples)
+
+    def quantile(self, q: float) -> int:
+        """Smallest x with at(x) >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        index = max(0, -(-int(q * len(self._samples)) // 1) - 1)
+        index = min(index, len(self._samples) - 1)
+        return self._samples[index]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> int:
+        """Largest sample."""
+        return self._samples[-1]
+
+    def series(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        """(x, P(sample <= x)) pairs for plotting/printing."""
+        return [(x, self.at(x)) for x in xs]
+
+    def tail_fraction(self, x: float) -> float:
+        """P(sample > x) — the long-tail measure of Figure 6."""
+        return 1.0 - self.at(x)

@@ -1,0 +1,35 @@
+"""Scalar metrics used across experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def speedup(experiment_ipc: float, baseline_ipc: float) -> float:
+    """IPC ratio of experiment to baseline (1.0 = equal performance)."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return experiment_ipc / baseline_ipc
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean — the conventional aggregate for speedups."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Render a ratio as a percent string (0.153 -> '15.3%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0 for empty input)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,140 @@
+"""Pipeline tracing: per-instruction stage timelines ("pipeview").
+
+Renders the journey of each retired instruction through the pipe as a
+text Gantt chart, the way ASIM-family tools visualise their models::
+
+    #1017 t0 load      F....R..Q....I----X..C.....T
+    #1018 t0 int_alu   .F....R..Q......I----X.T
+
+Legend: F fetch, R rename, Q IQ insert, I issue, X execute, C complete
+(result available), T retire; ``-`` marks the IQ->EX traversal, ``.``
+waiting.  Reissued instructions show their *last* issue; the reissue
+count is printed alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Simulator
+from repro.workloads import WorkloadProfile, workload_profiles
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """Stage timestamps of one retired instruction."""
+
+    uid: int
+    thread: int
+    opclass: str
+    pc: int
+    fetch: int
+    rename: int
+    insert: int
+    issue: int
+    exec_start: int
+    complete: int
+    retire: int
+    issue_count: int
+
+    @property
+    def latency(self) -> int:
+        """Fetch-to-retire lifetime in cycles."""
+        return self.retire - self.fetch
+
+
+def collect_trace(
+    workload: Union[str, List[WorkloadProfile]],
+    config: Optional[CoreConfig] = None,
+    instructions: int = 40,
+    skip: int = 2_000,
+    warmup: int = 30_000,
+    seed: int = 0,
+) -> List[TraceRow]:
+    """Run a simulation and capture ``instructions`` retired rows.
+
+    ``skip`` instructions retire (after functional ``warmup``) before
+    capture starts, so the trace shows steady-state behaviour.
+    """
+    if isinstance(workload, str):
+        profiles = workload_profiles(workload)
+    else:
+        profiles = list(workload)
+    config = config or CoreConfig.base()
+    simulator = Simulator(config, profiles, seed=seed)
+    if warmup:
+        simulator.functional_warmup(warmup)
+    rows: List[TraceRow] = []
+    captured = 0
+
+    def hook(inst) -> None:
+        nonlocal captured
+        if simulator.retired <= skip or captured >= instructions:
+            return
+        captured += 1
+        rows.append(
+            TraceRow(
+                uid=inst.uid,
+                thread=inst.thread,
+                opclass=inst.op.opclass.value,
+                pc=inst.op.pc,
+                fetch=inst.fetch_cycle,
+                rename=inst.rename_cycle,
+                insert=inst.insert_cycle,
+                issue=inst.issue_cycle,
+                exec_start=inst.exec_start_cycle,
+                complete=inst.complete_cycle,
+                retire=inst.retire_cycle,
+                issue_count=inst.issue_count,
+            )
+        )
+
+    simulator.retire_hook = hook
+    simulator.run(skip + instructions + 64)
+    return rows[:instructions]
+
+
+def render_pipetrace(rows: List[TraceRow], width: int = 100) -> str:
+    """Render trace rows as an aligned text Gantt chart."""
+    if not rows:
+        return "(empty trace)"
+    origin = min(row.fetch for row in rows)
+    span = max(row.retire for row in rows) - origin + 1
+    lines = [
+        f"pipetrace: {len(rows)} instructions, cycles "
+        f"{origin}..{origin + span - 1}"
+        + (" (clipped)" if span > width else ""),
+        "legend: F fetch  R rename  Q insert  I issue  - IQ->EX  "
+        "X execute  C complete  T retire",
+        "",
+    ]
+    for row in rows:
+        chart = [" "] * min(span, width)
+
+        def mark(cycle: int, char: str) -> None:
+            offset = cycle - origin
+            if 0 <= offset < len(chart):
+                # later stages overwrite idle fillers, never real marks
+                if chart[offset] in (" ", "."):
+                    chart[offset] = char
+
+        for start, end in ((row.fetch, row.retire),):
+            for cycle in range(start, min(end, origin + len(chart))):
+                mark(cycle, ".")
+        for cycle in range(row.issue, row.exec_start):
+            mark(cycle, "-")
+        mark(row.fetch, "F")
+        mark(row.rename, "R")
+        mark(row.insert, "Q")
+        mark(row.issue, "I")
+        mark(row.exec_start, "X")
+        mark(row.complete, "C")
+        mark(row.retire, "T")
+        reissue = f" (issues={row.issue_count})" if row.issue_count > 1 else ""
+        lines.append(
+            f"#{row.uid:<7d} t{row.thread} {row.opclass:<9s} "
+            f"{''.join(chart)}{reissue}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Plain-text table and series rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_heading(title: str) -> str:
+    """A section heading with an underline."""
+    return f"{title}\n{'=' * len(title)}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_first_left: bool = True,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    table: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        table.append([str(cell) for cell in row])
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(table):
+        cells = []
+        for i, cell in enumerate(row):
+            if i == 0 and align_first_left:
+                cells.append(cell.ljust(widths[i]))
+            else:
+                cells.append(cell.rjust(widths[i]))
+        lines.append("  ".join(cells))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[Tuple[float, float]], label: str = "") -> str:
+    """Render (x, y) pairs as an indented two-column listing."""
+    lines = [label] if label else []
+    lines.extend(f"  {x:>8.1f}  {y:>8.3f}" for x, y in points)
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Persisting experiment results as JSON.
+
+Experiments are slow enough that results deserve to be saved and
+compared across code revisions.  ``save_summary``/``load_summary`` wrap
+a stable, versioned JSON layout for :class:`~repro.core.SimResult`
+summaries and arbitrary figure tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Union
+
+from repro.core import SimResult
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def result_summary(result: SimResult) -> Dict[str, Any]:
+    """A JSON-serialisable summary of one simulation result."""
+    stats = result.stats
+    return {
+        "workload": result.workload,
+        "config": result.config.label,
+        "seed": result.seed,
+        "ipc": result.ipc,
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+        "summary": stats.summary(),
+        "operand_sources": {
+            source.value: count
+            for source, count in stats.operand_reads.items()
+        },
+        "reissues": {
+            cause.value: count for cause, count in stats.reissues.items()
+        },
+        "memdep_traps": stats.memdep_traps,
+    }
+
+
+def save_summary(
+    path: PathLike,
+    results: List[SimResult],
+    extra: Dict[str, Any] = None,
+) -> None:
+    """Write result summaries (plus optional figure tables) to ``path``."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "results": [result_summary(r) for r in results],
+        "extra": extra or {},
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_summary(path: PathLike) -> Dict[str, Any]:
+    """Load a summary file, validating the schema version."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results schema {schema!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return payload
+
+
+def compare_ipc(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """IPC deltas between two summary payloads, matched by workload+config."""
+    def key(entry: Dict[str, Any]) -> tuple:
+        return (entry["workload"], entry["config"], entry["seed"])
+
+    old_index = {key(e): e for e in old["results"]}
+    deltas = []
+    for entry in new["results"]:
+        match = old_index.get(key(entry))
+        if match is None or match["ipc"] == 0:
+            continue
+        deltas.append(
+            {
+                "workload": entry["workload"],
+                "config": entry["config"],
+                "old_ipc": match["ipc"],
+                "new_ipc": entry["ipc"],
+                "ratio": entry["ipc"] / match["ipc"],
+            }
+        )
+    return deltas

@@ -1,0 +1,32 @@
+"""Branch prediction substrate.
+
+Direction predictors (bimodal, gshare, tournament), a branch target
+buffer and a return-address stack.  The fetch stage uses these to
+speculate through the branch resolution loop; mis-speculations cost the
+full fetch-to-execute traversal plus queueing (the paper's §1 framework).
+"""
+
+from repro.branch.predictors import (
+    BimodalPredictor,
+    DirectionPredictor,
+    GsharePredictor,
+    LocalHistoryPredictor,
+    StaticTakenPredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.branch.btb import BTB, BTBConfig
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "DirectionPredictor",
+    "StaticTakenPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "LocalHistoryPredictor",
+    "TournamentPredictor",
+    "make_predictor",
+    "BTB",
+    "BTBConfig",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,80 @@
+"""Branch target buffer.
+
+A set-associative PC-to-target cache.  A predicted-taken branch that
+misses in the BTB cannot be redirected in the same cycle; the fetch unit
+charges a short bubble and the entry is filled at resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Geometry of the branch target buffer."""
+
+    entries: int = 2048
+    assoc: int = 4
+    miss_bubble: int = 2
+
+    def __post_init__(self) -> None:
+        if self.entries % self.assoc:
+            raise ValueError("BTB entries must divide evenly into ways")
+        sets = self.entries // self.assoc
+        if sets & (sets - 1):
+            raise ValueError("BTB set count must be a power of two")
+
+
+@dataclass
+class BTBStats:
+    """Lookup counters."""
+
+    lookups: int = 0
+    hits: int = 0
+
+
+class BTB:
+    """Set-associative branch target buffer with LRU replacement."""
+
+    def __init__(self, config: Optional[BTBConfig] = None):
+        self.config = config or BTBConfig()
+        self.stats = BTBStats()
+        self._num_sets = self.config.entries // self.config.assoc
+        self._sets: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self._num_sets)
+        ]
+
+    def _set_for(self, pc: int) -> List[Tuple[int, int]]:
+        # word-granular index: instructions are 4-byte aligned
+        return self._sets[(pc >> 2) & (self._num_sets - 1)]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target of the branch at ``pc``, or None on a miss."""
+        self.stats.lookups += 1
+        ways = self._set_for(pc)
+        for i, (tag, target) in enumerate(ways):
+            if tag == pc:
+                ways.append(ways.pop(i))
+                self.stats.hits += 1
+                return target
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Fill or update the entry for ``pc`` at branch resolution."""
+        ways = self._set_for(pc)
+        for i, (tag, _) in enumerate(ways):
+            if tag == pc:
+                ways.pop(i)
+                break
+        ways.append((pc, target))
+        if len(ways) > self.config.assoc:
+            ways.pop(0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when idle)."""
+        if self.stats.lookups == 0:
+            return 0.0
+        return self.stats.hits / self.stats.lookups

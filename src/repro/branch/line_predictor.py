@@ -1,0 +1,77 @@
+"""Next-line predictor (the paper's canonical *tight* loop).
+
+Figure 2's first example: "the next line prediction in the current
+cycle is needed by the line predictor to determine the instructions to
+fetch in the next cycle" — a loop with delay one, constraining cycle
+time rather than costing IPC directly.  The 21264's line predictor
+guesses the next fetch line before the branch predictor/BTB weigh in;
+a line mispredict costs a single fetch bubble even when the slower
+predictors are right.
+
+The model: a direct-mapped table of line -> next-line entries, trained
+on the observed fetch stream.  The pipeline charges ``bubble`` cycles
+whenever the prediction made from the previous fetch line disagrees
+with the line actually fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LinePredictorConfig:
+    """Geometry and cost of the next-line predictor."""
+
+    entries: int = 1024
+    line_bytes: int = 32
+    #: fetch bubble charged on a line mispredict (0 disables the model)
+    bubble: int = 1
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.entries & (self.entries - 1):
+            raise ValueError("line predictor entries must be a power of two")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if self.bubble < 0:
+            raise ValueError("bubble cannot be negative")
+
+
+class LinePredictor:
+    """Direct-mapped next-fetch-line predictor."""
+
+    def __init__(self, config: Optional[LinePredictorConfig] = None):
+        self.config = config or LinePredictorConfig()
+        self._table: List[Optional[int]] = [None] * self.config.entries
+        self._shift = self.config.line_bytes.bit_length() - 1
+        self._mask = self.config.entries - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def line_of(self, pc: int) -> int:
+        """Fetch-line number of ``pc``."""
+        return pc >> self._shift
+
+    def predict(self, current_pc: int) -> Optional[int]:
+        """Predicted next fetch line after the line of ``current_pc``."""
+        return self._table[self.line_of(current_pc) & self._mask]
+
+    def observe(self, current_pc: int, next_pc: int) -> bool:
+        """Record the observed transition; returns True on a correct
+        prediction (trains the entry either way)."""
+        predicted = self.predict(current_pc)
+        actual = self.line_of(next_pc)
+        self.predictions += 1
+        correct = predicted == actual
+        if not correct:
+            self.mispredictions += 1
+            self._table[self.line_of(current_pc) & self._mask] = actual
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of fetch-line transitions mispredicted."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,196 @@
+"""Branch direction predictors.
+
+All predictors share the two-bit saturating-counter building block of
+the Alpha-era designs the paper assumes.  The tournament predictor is a
+simplified 21264-style chooser between a per-PC (bimodal) and a
+global-history (gshare) component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class _CounterTable:
+    """A table of two-bit saturating counters.
+
+    Counters count 0..3; values >= 2 predict taken.  Tables are sized in
+    entries (power of two) and indexed by the caller.
+    """
+
+    def __init__(self, entries: int, initial: int = 1):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"table entries must be a power of two: {entries}")
+        if not 0 <= initial <= 3:
+            raise ValueError(f"counter initial value out of range: {initial}")
+        self.entries = entries
+        self.mask = entries - 1
+        self._counters = [initial] * entries
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self.mask
+        value = self._counters[i]
+        if taken:
+            if value < 3:
+                self._counters[i] = value + 1
+        elif value > 0:
+            self._counters[i] = value - 1
+
+
+class DirectionPredictor:
+    """Interface for branch direction predictors."""
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction of the branch at ``pc``."""
+        raise NotImplementedError
+
+
+class StaticTakenPredictor(DirectionPredictor):
+    """Always predicts taken — the degenerate baseline."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        return None
+
+
+def _pc_index(pc: int) -> int:
+    """Word-granular PC index (instructions are 4-byte aligned)."""
+    return pc >> 2
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Per-PC two-bit counters."""
+
+    def __init__(self, entries: int = 4096):
+        self._table = _CounterTable(entries)
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(_pc_index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(_pc_index(pc), taken)
+
+
+class GsharePredictor(DirectionPredictor):
+    """Global-history predictor: PC xor history indexes the counters."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        self._table = _CounterTable(entries)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return _pc_index(pc) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self._index(pc), taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class LocalHistoryPredictor(DirectionPredictor):
+    """Two-level local predictor (the 21264's local component).
+
+    A per-PC history table records each branch's recent directions; the
+    pattern of those directions indexes a shared table of counters.
+    Learns per-branch periodic patterns (loop trip counts) that plain
+    two-bit counters cannot.
+    """
+
+    def __init__(
+        self,
+        history_entries: int = 1024,
+        history_bits: int = 10,
+        pattern_entries: int = 1024,
+    ):
+        if history_entries <= 0 or history_entries & (history_entries - 1):
+            raise ValueError("history entries must be a power of two")
+        self._histories = [0] * history_entries
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = history_entries - 1
+        self._patterns = _CounterTable(pattern_entries)
+
+    def _history_of(self, pc: int) -> int:
+        return self._histories[_pc_index(pc) & self._index_mask]
+
+    def predict(self, pc: int) -> bool:
+        return self._patterns.predict(self._history_of(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        slot = _pc_index(pc) & self._index_mask
+        history = self._histories[slot]
+        self._patterns.update(history, taken)
+        self._histories[slot] = (
+            (history << 1) | int(taken)
+        ) & self._history_mask
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Chooser-based hybrid of bimodal and gshare components.
+
+    The chooser table is trained toward whichever component was correct
+    when the two disagree, in the style of the 21264's local/global
+    tournament predictor.
+    """
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        history_bits: int = 12,
+        chooser_entries: int = 4096,
+    ):
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GsharePredictor(entries, history_bits)
+        self._chooser = _CounterTable(chooser_entries, initial=2)
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser.predict(_pc_index(pc)):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_correct = self.bimodal.predict(pc) == taken
+        gshare_correct = self.gshare.predict(pc) == taken
+        if bimodal_correct != gshare_correct:
+            self._chooser.update(_pc_index(pc), taken=gshare_correct)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """Named predictor configuration used by :func:`make_predictor`."""
+
+    kind: str = "tournament"
+    entries: int = 4096
+    history_bits: int = 12
+
+
+def make_predictor(spec: PredictorSpec) -> DirectionPredictor:
+    """Construct a predictor from a :class:`PredictorSpec`."""
+    if spec.kind == "taken":
+        return StaticTakenPredictor()
+    if spec.kind == "bimodal":
+        return BimodalPredictor(spec.entries)
+    if spec.kind == "gshare":
+        return GsharePredictor(spec.entries, spec.history_bits)
+    if spec.kind == "local":
+        return LocalHistoryPredictor(
+            history_entries=spec.entries,
+            history_bits=spec.history_bits,
+            pattern_entries=spec.entries,
+        )
+    if spec.kind == "tournament":
+        return TournamentPredictor(spec.entries, spec.history_bits)
+    raise ValueError(f"unknown predictor kind: {spec.kind!r}")

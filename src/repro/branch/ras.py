@@ -1,0 +1,41 @@
+"""Return-address stack.
+
+Calls push the fall-through PC; returns pop it.  The stack is a fixed
+depth circular structure — overflow silently wraps (oldest entry lost),
+matching hardware behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth return address predictor."""
+
+    def __init__(self, depth: int = 16):
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        """Record the return address of a call."""
+        self.pushes += 1
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        """Predicted target for a return; None if the stack is empty."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

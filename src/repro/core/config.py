@@ -1,0 +1,264 @@
+"""Core configuration.
+
+``CoreConfig`` captures the base machine of the paper's §2 — an 8-wide,
+128-entry-IQ, 8-cluster SMT out-of-order processor with a ~20-cycle
+minimum integer pipeline — and exposes the two latencies the paper
+studies as first-class knobs:
+
+* ``dec_iq`` — decode to IQ-insertion latency (X in the paper's X_Y
+  notation),
+* ``iq_ex``  — issue to execute latency (Y).
+
+Factory methods build the paper's configurations:
+
+* :meth:`CoreConfig.base` — base pipeline for a given register-file read
+  latency (IQ->EX = 2 + rf cycles: issue, payload, register read).
+* :meth:`CoreConfig.with_dra` — the DRA pipeline: register read moved
+  into DEC->IQ (pre-read), IQ->EX shrunk to 3 cycles (issue, payload +
+  forwarding-buffer/CRC read, transport).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.branch.btb import BTBConfig
+from repro.branch.line_predictor import LinePredictorConfig
+from repro.branch.predictors import PredictorSpec
+from repro.core.memdep import MemDepConfig
+from repro.memory.hierarchy import HierarchyConfig
+
+
+class LoadRecovery(enum.Enum):
+    """How the load resolution loop is managed (§2.2.2).
+
+    * ``REISSUE`` — speculate that loads hit; on a miss, reissue the
+      issued instructions of the load's dependency tree from the IQ
+      (the base machine's policy).
+    * ``REFETCH`` — speculate, but recover by flushing and re-fetching
+      everything after the load (easier hardware, far slower).
+    * ``STALL`` — do not speculate: dependents wait until the load's
+      outcome is known.
+    """
+
+    REISSUE = "reissue"
+    REFETCH = "refetch"
+    STALL = "stall"
+
+
+@dataclass(frozen=True)
+class DRAConfig:
+    """Parameters of the Distributed Register Algorithm (§4-§5)."""
+
+    #: Entries per cluster register cache (paper: 16 x 8 clusters).
+    crc_entries: int = 16
+    #: Insertion-table counter width; 2 bits saturate at 3 consumers.
+    counter_bits: int = 2
+    #: Cycles to move an operand fetched on a miss from the register
+    #: file into the IQ payload (recovery path, §5.4).
+    payload_transit: int = 2
+    #: Front-end stall charged per operand-miss event (§5.4: "wiring to
+    #: stall the front end ... while the missing operands are read").
+    frontend_stall: int = 1
+    #: Use an oracle replacement/insertion policy instead of FIFO
+    #: (ablation of §5.1's "almost perfect knowledge" comparison).
+    oracle_crc: bool = False
+    #: Model a single centralized register cache of ``crc_entries``
+    #: shared by all clusters instead of one per cluster — the strawman
+    #: §4 argues against ("a small register cache results in a high miss
+    #: rate ... may need to be of comparable size to a register file").
+    centralized: bool = False
+    #: Whether instructions replayed in a load shadow still read the
+    #: forwarding buffer for their valid operands (and so decrement the
+    #: insertion-table consumer counts).  The default (False) models a
+    #: kill-qualified decrement — a read belonging to an issue that is
+    #: later squashed does not count down the consumer counter — which
+    #: is what the paper's sub-1% miss rates imply.  True is the
+    #: pessimistic electrical view (every issue drives the forwarding
+    #: network); it roughly triples the operand miss rate and is used
+    #: as an ablation.
+    shadow_fb_decrement: bool = False
+
+    def __post_init__(self) -> None:
+        if self.crc_entries < 1:
+            raise ValueError("CRC needs at least one entry")
+        if self.counter_bits < 1:
+            raise ValueError("insertion counters need at least one bit")
+        if self.payload_transit < 0 or self.frontend_stall < 0:
+            raise ValueError("latencies cannot be negative")
+
+    @property
+    def counter_max(self) -> int:
+        """Saturation value of the insertion-table counters."""
+        return (1 << self.counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Full description of the simulated machine."""
+
+    # --- widths ----------------------------------------------------------
+    fetch_width: int = 8
+    rename_width: int = 8
+    issue_width: int = 8          # 1 per cluster x 8 clusters
+    retire_width: int = 8
+
+    # --- pipeline geometry (cycles) -----------------------------------------
+    fetch_depth: int = 4
+    dec_iq: int = 5               # X: decode -> IQ insertion
+    iq_ex: int = 5                # Y: issue -> execute
+    rename_offset: int = 2        # rename completes this deep into DEC->IQ
+    rf_read_latency: int = 3      # register file read (drives base IQ->EX)
+
+    # --- structures --------------------------------------------------------
+    iq_entries: int = 128
+    rob_entries: int = 256
+    num_clusters: int = 8
+    num_pregs: int = 768
+    fb_depth: int = 9             # forwarding buffer window (cycles)
+    #: Register-file read ports available to the issue path (§2.1).
+    #: The base machine carries full port capability (16 = 2 x 8-wide);
+    #: smaller values gate issue on operand-read bandwidth, modelling
+    #: the "logic to stall or suppress instructions that will not be
+    #: able to read their operands".  Ignored under the DRA, whose
+    #: issue path reads the forwarding buffer and CRCs instead.
+    rf_read_ports: int = 16
+
+    # --- loop feedback delays ------------------------------------------------
+    iq_feedback_delay: int = 3    # execute -> IQ notification (load loop)
+    iq_clear_cycles: int = 1      # extra cycles to clear a confirmed entry
+    branch_feedback_delay: int = 1
+    #: Cycles before a missed load's data return that its dependents may
+    #: begin to (re)issue.  0 = the paper's conservative semantics: a
+    #: dependent reissues only once the load resolves, so it reaches
+    #: execute a full IQ->EX after the fill — the reason the load
+    #: resolution loop scales with IQ->EX length (§2.2.2, Figure 5).
+    load_fill_wake_lead: int = 0
+
+    # --- policies -----------------------------------------------------------
+    load_recovery: LoadRecovery = LoadRecovery.REISSUE
+    #: Cluster slotting at decode: "dependence" sends an instruction to
+    #: the cluster of its first in-flight producer (minimising operand
+    #: transport, concentrating dependence trees the way the paper's
+    #: §5.4 saturation discussion assumes); "round_robin" spreads
+    #: instructions evenly.
+    slotting: str = "dependence"
+    #: SMT fetch arbitration: "icount" (Tullsen-style) or "round_robin".
+    fetch_policy: str = "icount"
+    #: Memory dependence speculation (store queue + store-wait bits);
+    #: None models perfect disambiguation.
+    memdep: Optional[MemDepConfig] = field(default_factory=MemDepConfig)
+    dra: Optional[DRAConfig] = None
+    #: Predicted L1 hit latency used to wake load dependents speculatively.
+    predictor: PredictorSpec = field(default_factory=PredictorSpec)
+    #: Next-line predictor (Figure 2's tight loop); None disables the
+    #: fetch-bubble model.
+    line_predictor: Optional[LinePredictorConfig] = field(
+        default_factory=LinePredictorConfig
+    )
+    btb: BTBConfig = field(default_factory=BTBConfig)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width", "rename_width", "issue_width", "retire_width",
+            "fetch_depth", "dec_iq", "iq_ex", "rf_read_latency",
+            "iq_entries", "rob_entries", "num_clusters", "num_pregs",
+            "fb_depth", "iq_feedback_delay", "branch_feedback_delay",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.iq_clear_cycles < 0:
+            raise ValueError("iq_clear_cycles cannot be negative")
+        if self.load_fill_wake_lead < 0:
+            raise ValueError("load_fill_wake_lead cannot be negative")
+        if self.rf_read_ports < 1:
+            raise ValueError("need at least one register file read port")
+        if self.slotting not in ("dependence", "round_robin"):
+            raise ValueError(f"unknown slotting policy: {self.slotting!r}")
+        if self.fetch_policy not in ("icount", "round_robin"):
+            raise ValueError(f"unknown fetch policy: {self.fetch_policy!r}")
+        if self.rename_offset < 1 or self.rename_offset > self.dec_iq:
+            raise ValueError("rename_offset must fall inside the DEC->IQ pipe")
+        if self.issue_width != self.num_clusters:
+            raise ValueError(
+                "clustered issue selects one instruction per cluster: "
+                "issue_width must equal num_clusters"
+            )
+        if self.num_pregs < 2 * 64 + self.rob_entries:
+            raise ValueError(
+                "physical register file too small to cover architectural "
+                "state plus in-flight instructions"
+            )
+
+    # --- derived quantities (the paper's loop arithmetic) ----------------------
+
+    @property
+    def load_loop_delay(self) -> int:
+        """Load resolution loop delay = IQ->EX length + feedback (§2.2.2).
+
+        8 cycles in the base machine (5 + 3).
+        """
+        return self.iq_ex + self.iq_feedback_delay
+
+    @property
+    def decode_to_execute(self) -> int:
+        """The DEC->EX latency the paper's Figures 4-5 vary (X + Y)."""
+        return self.dec_iq + self.iq_ex
+
+    @property
+    def min_int_pipeline(self) -> int:
+        """Minimum pipeline cycles for a 1-cycle integer op (~20 base)."""
+        return self.fetch_depth + self.dec_iq + self.iq_ex + 1 + \
+            self.iq_feedback_delay + 2
+
+    # --- factories --------------------------------------------------------------
+
+    @classmethod
+    def base(cls, rf_read_latency: int = 3, **overrides) -> "CoreConfig":
+        """The paper's base machine for a register-file read latency.
+
+        IQ->EX = 2 (issue + payload) + register read; DEC->IQ stays 5.
+        rf=3 -> 5_5, rf=5 -> 5_7, rf=7 -> 5_9 (§6).
+        """
+        return cls(
+            dec_iq=overrides.pop("dec_iq", 5),
+            iq_ex=2 + rf_read_latency,
+            rf_read_latency=rf_read_latency,
+            **overrides,
+        )
+
+    @classmethod
+    def with_dra(cls, rf_read_latency: int = 3, **overrides) -> "CoreConfig":
+        """The DRA machine for a register-file read latency (§6).
+
+        The register read leaves IQ->EX (now 3 cycles: issue, payload +
+        FB/CRC access, transport) and overlaps DEC->IQ after rename:
+        rf=3 -> 5_3, rf=5 -> 7_3, rf=7 -> 9_3.
+        """
+        dra = overrides.pop("dra", DRAConfig())
+        base_dec_iq = overrides.pop("dec_iq", 5)
+        return cls(
+            dec_iq=max(base_dec_iq, 2 + rf_read_latency),
+            iq_ex=3,
+            rf_read_latency=rf_read_latency,
+            dra=dra,
+            **overrides,
+        )
+
+    def with_pipe(self, dec_iq: int, iq_ex: int) -> "CoreConfig":
+        """A copy with different DEC->IQ / IQ->EX latencies (Figures 4-5)."""
+        return dataclasses.replace(self, dec_iq=dec_iq, iq_ex=iq_ex)
+
+    def replace(self, **changes) -> "CoreConfig":
+        """A modified copy (thin wrapper over ``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def label(self) -> str:
+        """The paper's X_Y pipeline notation, with a DRA marker."""
+        tag = "DRA:" if self.dra is not None else "Base:"
+        return f"{tag}{self.dec_iq}_{self.iq_ex}"

@@ -1,0 +1,232 @@
+"""The Distributed Register Algorithm hardware (§4-§5).
+
+Three structures, simulated entry-by-entry:
+
+* :class:`RegisterPreReadFilteringTable` (RPFT) — one bit per physical
+  register; set when the value is written back to the register file,
+  cleared when the renamer re-allocates the register.  A set bit at
+  rename time means the operand is *completed* and is pre-read into the
+  IQ payload during the DEC->IQ traversal.
+* :class:`InsertionTable` — one per cluster; a 2-bit saturating counter
+  per physical register counting outstanding consumers slotted to that
+  cluster which could not pre-read the operand.  Incremented on a failed
+  pre-read, decremented on a forwarding-buffer read, cleared (with a CRC
+  insertion if non-zero) when the value writes back.
+* :class:`ClusterRegisterCache` (CRC) — one per cluster; a small
+  fully-associative FIFO of register values near the functional units.
+  Stale entries are invalidated when the physical register is
+  re-allocated (§5.5).
+
+:class:`DRAEngine` wires them together and implements the §5.4 miss
+conditions: FIFO capacity eviction and consumer-counter saturation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.core.config import DRAConfig
+from repro.core.stats import CoreStats
+
+
+class RegisterPreReadFilteringTable:
+    """One validity bit per physical register (§5.2)."""
+
+    def __init__(self, num_pregs: int):
+        self._valid = [False] * num_pregs
+
+    def is_completed(self, preg: int) -> bool:
+        """Whether ``preg``'s value is in the register file (pre-readable)."""
+        return self._valid[preg]
+
+    def on_writeback(self, preg: int) -> None:
+        """Value written back to the RF: mark pre-readable."""
+        self._valid[preg] = True
+
+    def on_allocate(self, preg: int) -> None:
+        """Register handed to a new producer: in flight, not readable."""
+        self._valid[preg] = False
+
+
+class InsertionTable:
+    """Per-cluster outstanding-consumer counters (§5.3)."""
+
+    def __init__(self, num_pregs: int, counter_max: int, stats: CoreStats):
+        self._counts = [0] * num_pregs
+        self.counter_max = counter_max
+        self._stats = stats
+
+    def count(self, preg: int) -> int:
+        """Current outstanding-consumer count for ``preg``."""
+        return self._counts[preg]
+
+    def increment(self, preg: int) -> None:
+        """A consumer slotted to this cluster failed its pre-read."""
+        if self._counts[preg] >= self.counter_max:
+            self._stats.insertion_saturations += 1
+            return
+        self._counts[preg] += 1
+
+    def decrement(self, preg: int) -> None:
+        """A consumer in this cluster read ``preg`` from the forwarding
+        buffer, so one fewer outstanding consumer needs the CRC copy."""
+        if self._counts[preg] > 0:
+            self._counts[preg] -= 1
+
+    def clear(self, preg: int) -> None:
+        """Reset the counter (on CRC insertion or re-allocation)."""
+        self._counts[preg] = 0
+
+
+class ClusterRegisterCache:
+    """A small fully-associative FIFO register cache (§5.1).
+
+    Each entry remembers how many outstanding consumers it was inserted
+    for; the near-oracle replacement policy (§5.1's "almost perfect
+    knowledge" comparison) uses those counts, the default policy is
+    strictly FIFO and ignores them.
+    """
+
+    def __init__(self, entries: int, stats: CoreStats):
+        self.entries = entries
+        self._stats = stats
+        #: preg -> outstanding consumers; OrderedDict keeps FIFO order.
+        self._fifo: "OrderedDict[int, int]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def contains(self, preg: int) -> bool:
+        """Whether ``preg``'s value is resident (lookup is a CAM match;
+        no recency update — replacement is strictly FIFO)."""
+        return preg in self._fifo
+
+    def insert(self, preg: int, consumers: int = 1) -> None:
+        """Insert ``preg``, evicting the oldest entry if full."""
+        if preg in self._fifo:
+            self._fifo[preg] += consumers
+            return
+        if len(self._fifo) >= self.entries:
+            self._fifo.popitem(last=False)
+            self._stats.crc_evictions += 1
+        self._fifo[preg] = consumers
+        self._stats.crc_insertions += 1
+
+    def insert_oracle(self, preg: int, consumers: int = 1) -> None:
+        """Near-oracle insert: prefer evicting entries whose consumers
+        have all been served (the paper's 'almost perfect knowledge'
+        comparison point)."""
+        if preg in self._fifo:
+            self._fifo[preg] += consumers
+            return
+        if len(self._fifo) >= self.entries:
+            exhausted = next(
+                (p for p, remaining in self._fifo.items() if remaining <= 0),
+                None,
+            )
+            if exhausted is not None:
+                del self._fifo[exhausted]
+            else:
+                self._fifo.popitem(last=False)
+            self._stats.crc_evictions += 1
+        self._fifo[preg] = consumers
+        self._stats.crc_insertions += 1
+
+    def note_read(self, preg: int) -> None:
+        """Record that one outstanding consumer has been served."""
+        if preg in self._fifo:
+            self._fifo[preg] -= 1
+
+    def invalidate(self, preg: int) -> None:
+        """Drop a stale entry when its register is re-allocated (§5.5)."""
+        if preg in self._fifo:
+            del self._fifo[preg]
+            self._stats.crc_invalidations += 1
+
+
+class DRAEngine:
+    """The DRA structures for all clusters, plus their event handlers."""
+
+    def __init__(
+        self,
+        config: DRAConfig,
+        num_pregs: int,
+        num_clusters: int,
+        stats: CoreStats,
+    ):
+        self.config = config
+        self.stats = stats
+        self.rpft = RegisterPreReadFilteringTable(num_pregs)
+        # a centralized register cache is a single structure shared by
+        # all clusters (the §4 strawman); the DRA proper distributes one
+        # per cluster
+        effective_clusters = 1 if config.centralized else num_clusters
+        self._cluster_of = (lambda c: 0) if config.centralized else (lambda c: c)
+        self.tables: List[InsertionTable] = [
+            InsertionTable(num_pregs, config.counter_max, stats)
+            for _ in range(effective_clusters)
+        ]
+        self.crcs: List[ClusterRegisterCache] = [
+            ClusterRegisterCache(config.crc_entries, stats)
+            for _ in range(effective_clusters)
+        ]
+
+    # --- rename-time behaviour (§5.2) ------------------------------------------
+
+    def try_preread(self, preg: int, cluster: int) -> bool:
+        """Pre-read attempt for a source operand at rename.
+
+        Returns True when the operand is completed (RPFT bit set): the
+        register file is read during DEC->IQ and the value rides in the
+        IQ payload.  Otherwise the source register number is sent to the
+        consumer cluster's insertion table.
+        """
+        if self.rpft.is_completed(preg):
+            return True
+        self.tables[self._cluster_of(cluster)].increment(preg)
+        return False
+
+    # --- writeback-time behaviour (§5.3) ---------------------------------------------
+
+    def on_writeback(self, preg: int) -> None:
+        """Value leaves the forwarding buffer for the register file.
+
+        The RPFT bit is set, and a copy goes to every cluster whose
+        insertion table still records outstanding consumers.
+        """
+        self.rpft.on_writeback(preg)
+        for table, crc in zip(self.tables, self.crcs):
+            count = table.count(preg)
+            if count > 0:
+                if self.config.oracle_crc:
+                    crc.insert_oracle(preg, consumers=count)
+                else:
+                    crc.insert(preg, consumers=count)
+                table.clear(preg)
+
+    # --- allocation-time behaviour (§5.5) ------------------------------------------------
+
+    def on_allocate(self, preg: int) -> None:
+        """Register re-allocated: clear RPFT, counters, stale CRC copies."""
+        self.rpft.on_allocate(preg)
+        for table in self.tables:
+            table.clear(preg)
+        for crc in self.crcs:
+            crc.invalidate(preg)
+
+    # --- execute-time behaviour -----------------------------------------------------------
+
+    def on_forward_read(self, preg: int, cluster: int) -> None:
+        """Operand served by the forwarding buffer in ``cluster``."""
+        self.tables[self._cluster_of(cluster)].decrement(preg)
+
+    def crc_lookup(self, preg: int, cluster: int) -> bool:
+        """Whether the consumer cluster's CRC holds ``preg``."""
+        crc = self.crcs[self._cluster_of(cluster)]
+        hit = crc.contains(preg)
+        if hit:
+            # served one outstanding consumer (the near-oracle policy
+            # preferentially evicts exhausted entries)
+            crc.note_read(preg)
+        return hit

@@ -1,0 +1,50 @@
+"""The forwarding buffer (§2.2.1).
+
+The base machine keeps results of the last ``fb_depth`` (9) cycles
+available to the execution stage, turning the execute -> register-write
+loose loop into a tight loop.  In the timing model a lookup succeeds when
+the producing register's actual availability time falls inside the
+window ``[t - depth, t]`` of the consuming execution at time ``t``.
+
+The buffer also drives the delayed register-file write: a value enters
+the register file ``depth`` cycles after it becomes available, which is
+when the DRA sets the RPFT bit and performs CRC insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.regfile import PhysRegFile
+
+
+class ForwardingBuffer:
+    """Window-based forwarding network over the physical register file."""
+
+    def __init__(self, regfile: PhysRegFile, depth: int = 9):
+        if depth < 1:
+            raise ValueError("forwarding buffer depth must be >= 1")
+        self._regfile = regfile
+        self.depth = depth
+        self.hits = 0
+        self.lookups = 0
+
+    def writeback_time(self, avail_cycle: int) -> int:
+        """When a value available at ``avail_cycle`` reaches the RF."""
+        return avail_cycle + self.depth
+
+    def holds(self, preg: int, cycle: int) -> bool:
+        """Whether ``preg``'s value can be forwarded at ``cycle``."""
+        avail: Optional[int] = self._regfile.avail[preg]
+        self.lookups += 1
+        if avail is None:
+            return False
+        if avail <= cycle <= avail + self.depth:
+            self.hits += 1
+            return True
+        return False
+
+    def in_register_file(self, preg: int, cycle: int) -> bool:
+        """Whether ``preg``'s value has been written back by ``cycle``."""
+        wb = self._regfile.writeback[preg]
+        return wb is not None and wb <= cycle

@@ -1,0 +1,167 @@
+"""The unified, clustered issue queue (§2).
+
+A 128-entry queue feeding eight functional-unit clusters.  Instructions
+are slotted to a cluster at decode, so per-cycle selection is "pick the
+oldest ready instruction per cluster" — the paper's M-of-N decomposition
+(8 of 128 becomes 8 x 1-of-16).
+
+Two properties of the paper's base machine are modelled faithfully:
+
+* **Speculative wakeup** — an instruction is selectable when every
+  source's *speculated* availability time will be met at its execute
+  entry (issue + IQ->EX); loads publish optimistic (L1-hit) times.
+* **Entry retention (IQ pressure, §2.2.2)** — issued instructions keep
+  their entries until the execution stage confirms, one loop delay
+  (IQ->EX + feedback) later, that no reissue is needed; only then is the
+  slot cleared (plus ``iq_clear_cycles``).  Reissue simply flips the
+  entry back to the unissued pool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import CoreConfig
+from repro.core.regfile import PhysRegFile
+from repro.isa.instructions import DynInst
+
+
+class IssueQueue:
+    """Unified IQ with per-cluster oldest-first select."""
+
+    def __init__(self, config: CoreConfig, regfile: PhysRegFile):
+        self.config = config
+        self._regfile = regfile
+        self.capacity = config.iq_entries
+        self.count = 0
+        #: issued-but-unconfirmed entries (the §2.2.2 pressure metric)
+        self.issued_waiting = 0
+        self._unissued: List[List[DynInst]] = [
+            [] for _ in range(config.num_clusters)
+        ]
+        #: callable(inst) -> True while a store-wait load must hold
+        self._memdep_blocked = None
+        #: issue opportunities lost to register-file port limits (§2.1)
+        self.port_stalls = 0
+
+    def set_memdep_gate(self, gate) -> None:
+        """Install the memory-dependence hold check for wait-bit loads."""
+        self._memdep_blocked = gate
+
+    # --- capacity ---------------------------------------------------------
+
+    def has_space(self, needed: int = 1) -> bool:
+        """Whether ``needed`` more instructions can be inserted."""
+        return self.count + needed <= self.capacity
+
+    # --- entry lifecycle -----------------------------------------------------
+
+    def insert(self, inst: DynInst, cycle: int) -> None:
+        """Insert a renamed instruction (allocates its entry)."""
+        if not self.has_space():
+            raise RuntimeError("issue queue overflow")
+        self.count += 1
+        inst.insert_cycle = cycle
+        self._push_unissued(inst)
+
+    def _push_unissued(self, inst: DynInst) -> None:
+        """Add to the cluster's unissued pool keeping age (uid) order."""
+        pool = self._unissued[inst.cluster]
+        if not pool or pool[-1].uid < inst.uid:
+            pool.append(inst)
+            return
+        # reissued instructions are older than the tail: scan from the end
+        i = len(pool)
+        while i > 0 and pool[i - 1].uid > inst.uid:
+            i -= 1
+        pool.insert(i, inst)
+
+    def mark_reissue(self, inst: DynInst) -> None:
+        """Return an issued entry to the unissued pool (reissue path)."""
+        if inst.squashed or inst.confirmed:
+            return
+        self.issued_waiting -= 1
+        self._push_unissued(inst)
+
+    def release(self, inst: DynInst) -> None:
+        """Free a confirmed entry (the clear after the confirmation)."""
+        if inst.squashed:
+            return
+        self.count -= 1
+        self.issued_waiting -= 1
+
+    def remove_squashed(self, inst: DynInst) -> None:
+        """Drop an entry during a flush (refetch recovery or trap)."""
+        pool = self._unissued[inst.cluster]
+        if inst in pool:
+            pool.remove(inst)
+        elif not inst.confirmed:
+            # issued and still waiting for confirmation
+            self.issued_waiting -= 1
+        self.count -= 1
+
+    # --- select ------------------------------------------------------------------
+
+    def _ready(self, inst: DynInst, cycle: int) -> bool:
+        """Whether ``inst`` can issue at ``cycle``.
+
+        Every source's speculated availability must be met by the
+        instruction's execute entry (cycle + IQ->EX), and any DRA
+        operand-recovery gate must have elapsed.
+        """
+        if inst.min_reissue_cycle > cycle:
+            return False
+        if inst.memdep_wait and self._memdep_blocked is not None \
+                and self._memdep_blocked(inst):
+            return False
+        horizon = cycle + self.config.iq_ex
+        spec_avail = self._regfile.spec_avail
+        for preg in inst.src_pregs:
+            avail = spec_avail[preg]
+            if avail is None or avail > horizon:
+                return False
+        return True
+
+    def select(self, cycle: int) -> List[DynInst]:
+        """Pick up to one ready instruction per cluster (oldest first).
+
+        On the base machine (no DRA) issue also consumes register-file
+        read ports — one per source operand; when the ports run out,
+        remaining clusters stall this cycle (§2.1).
+        """
+        issued: List[DynInst] = []
+        ports_left = (
+            self.config.rf_read_ports if self.config.dra is None else None
+        )
+        for pool in self._unissued:
+            chosen: Optional[DynInst] = None
+            for inst in pool:
+                if self._ready(inst, cycle):
+                    chosen = inst
+                    break
+            if chosen is None:
+                continue
+            if ports_left is not None:
+                needed = len(chosen.src_pregs)
+                if needed > ports_left:
+                    self.port_stalls += 1
+                    continue
+                ports_left -= needed
+            pool.remove(chosen)
+            chosen.issue_cycle = cycle
+            if chosen.first_issue_cycle < 0:
+                chosen.first_issue_cycle = cycle
+            chosen.issue_count += 1
+            self.issued_waiting += 1
+            issued.append(chosen)
+        return issued
+
+    # --- introspection -------------------------------------------------------------
+
+    def unissued_count(self) -> int:
+        """Entries still waiting to issue."""
+        return sum(len(pool) for pool in self._unissued)
+
+    def cluster_backlog(self, cluster: int) -> int:
+        """Unissued entries slotted to ``cluster`` (slotting feedback)."""
+        return len(self._unissued[cluster])

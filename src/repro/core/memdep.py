@@ -1,0 +1,150 @@
+"""Memory dependence speculation (the paper's memory dependence loop).
+
+Figure 2 of the paper lists the *memory dependence loop* alongside the
+branch and load resolution loops, and §1 uses the 21264's load/store
+reorder trap as the worked example of a loop whose **recovery stage**
+(fetch) sits earlier than its **initiation stage** (issue), adding
+recovery time to every mis-speculation.
+
+The model follows the 21264's store-wait scheme:
+
+* loads normally issue without regard to older stores (speculating "no
+  conflict");
+* when a store executes and finds a younger load to the same line that
+  has already executed, the machine takes a **load/store reorder trap**:
+  everything from the load onward is squashed and re-fetched, and the
+  load's PC sets a bit in the :class:`StoreWaitPredictor`;
+* a load whose store-wait bit is set issues only after every older
+  store in its thread has executed.  The table is periodically cleared
+  so stale bits do not throttle loads forever.
+
+Three policies are provided for ablation: ``NAIVE`` (always speculate,
+no predictor), ``PREDICT`` (store-wait, the default), ``CONSERVATIVE``
+(every load waits for all older stores).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.isa.instructions import DynInst
+
+
+class MemDepPolicy(enum.Enum):
+    """How loads are ordered against older stores."""
+
+    NAIVE = "naive"
+    PREDICT = "predict"
+    CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class MemDepConfig:
+    """Memory dependence speculation parameters."""
+
+    policy: MemDepPolicy = MemDepPolicy.PREDICT
+    store_queue_entries: int = 32
+    predictor_entries: int = 1024
+    #: cycles between store-wait table clears (21264-style decay)
+    clear_interval: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.store_queue_entries < 1:
+            raise ValueError("store queue needs at least one entry")
+        if self.predictor_entries < 1 or (
+            self.predictor_entries & (self.predictor_entries - 1)
+        ):
+            raise ValueError("predictor entries must be a power of two")
+        if self.clear_interval < 1:
+            raise ValueError("clear interval must be positive")
+
+
+class StoreWaitPredictor:
+    """One wait bit per load PC, periodically cleared."""
+
+    def __init__(self, entries: int = 1024, clear_interval: int = 50_000):
+        self._bits = [False] * entries
+        self._mask = entries - 1
+        self._clear_interval = clear_interval
+        self._last_clear = 0
+        self.trains = 0
+        self.clears = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict_wait(self, pc: int) -> bool:
+        """Whether the load at ``pc`` should wait for older stores."""
+        return self._bits[self._index(pc)]
+
+    def train(self, pc: int) -> None:
+        """A reorder trap occurred for the load at ``pc``."""
+        self._bits[self._index(pc)] = True
+        self.trains += 1
+
+    def tick(self, cycle: int) -> None:
+        """Clear the table when the decay interval elapses."""
+        if cycle - self._last_clear >= self._clear_interval:
+            self._bits = [False] * (self._mask + 1)
+            self._last_clear = cycle
+            self.clears += 1
+
+
+class StoreQueue:
+    """In-flight stores of one thread, in program order."""
+
+    def __init__(self, entries: int = 32):
+        self.entries = entries
+        self._stores: List["DynInst"] = []
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    @property
+    def full(self) -> bool:
+        return len(self._stores) >= self.entries
+
+    def add(self, store: "DynInst") -> None:
+        if self.full:
+            raise RuntimeError("store queue overflow")
+        self._stores.append(store)
+
+    def remove(self, store: "DynInst") -> None:
+        """Remove at retire (head) or wherever it sits after a squash."""
+        try:
+            self._stores.remove(store)
+        except ValueError:
+            pass
+
+    def drop_squashed(self) -> None:
+        """Filter out squashed stores after a flush."""
+        self._stores = [s for s in self._stores if not s.squashed]
+
+    def oldest_unexecuted_uid(self) -> Optional[int]:
+        """UID of the oldest store with an unknown address, or None."""
+        for store in self._stores:
+            if not store.executed and not store.squashed:
+                return store.uid
+        return None
+
+    def has_older_unexecuted(self, uid: int) -> bool:
+        """Whether any store older than ``uid`` has not yet executed."""
+        oldest = self.oldest_unexecuted_uid()
+        return oldest is not None and oldest < uid
+
+    def has_older_unissued(self, uid: int) -> bool:
+        """Whether any store older than ``uid`` has never issued.
+
+        The 21264's store-wait semantics: a wait-bit load holds only
+        until prior stores *issue* (cheaper than waiting for their
+        execution, and enough to restore ordering in the common case).
+        """
+        for store in self._stores:
+            if store.uid >= uid:
+                return False
+            if store.issue_count == 0 and not store.squashed:
+                return True
+        return False

@@ -1,0 +1,110 @@
+"""Physical register file and register renaming.
+
+The simulator is timing-directed, so a physical register carries *times*
+rather than values:
+
+* ``spec_avail`` — when the issue queue believes the value will be
+  available to a consumer entering execute.  Published at producer issue
+  (optimistically, assuming loads hit) and corrected through the load
+  resolution loop's feedback path.  ``None`` means "producer has not
+  issued" (or the publication was retracted after a mis-speculation).
+* ``avail`` — ground-truth availability, set when the producer actually
+  executes with valid operands.  ``None`` until then.
+* ``writeback`` — when the value lands in the register file proper
+  (``avail`` + forwarding-buffer depth); drives the DRA's RPFT and CRC
+  insertion events.
+
+Renaming uses one map per hardware thread over a shared free list, as in
+the paper's SMT base machine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.registers import NUM_ARCH_REGS
+
+
+class PhysRegFile:
+    """Shared physical register file with timing state per register."""
+
+    def __init__(self, num_pregs: int):
+        if num_pregs < 1:
+            raise ValueError("need at least one physical register")
+        self.num_pregs = num_pregs
+        self.spec_avail: List[Optional[int]] = [None] * num_pregs
+        self.avail: List[Optional[int]] = [None] * num_pregs
+        self.writeback: List[Optional[int]] = [None] * num_pregs
+        self._free: List[int] = list(range(num_pregs - 1, -1, -1))
+
+    # --- allocation ----------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Number of currently free physical registers."""
+        return len(self._free)
+
+    def can_allocate(self, count: int = 1) -> bool:
+        """Whether ``count`` registers can be allocated."""
+        return len(self._free) >= count
+
+    def allocate(self) -> int:
+        """Allocate a register; its timing state starts unknown."""
+        if not self._free:
+            raise RuntimeError("physical register file exhausted")
+        preg = self._free.pop()
+        self.spec_avail[preg] = None
+        self.avail[preg] = None
+        self.writeback[preg] = None
+        return preg
+
+    def free(self, preg: int) -> None:
+        """Return ``preg`` to the free list."""
+        self._free.append(preg)
+
+    def make_ready(self, preg: int, cycle: int = 0) -> None:
+        """Mark ``preg`` as holding a committed value since ``cycle``.
+
+        Used for initial architectural state: the value is in the
+        register file (written back) and immediately available.
+        """
+        self.spec_avail[preg] = cycle
+        self.avail[preg] = cycle
+        self.writeback[preg] = cycle
+
+
+class RenameMap:
+    """Architectural-to-physical mapping for one hardware thread."""
+
+    def __init__(self, regfile: PhysRegFile, start_cycle: int = 0):
+        self._regfile = regfile
+        self.map: List[int] = []
+        for _ in range(NUM_ARCH_REGS):
+            preg = regfile.allocate()
+            regfile.make_ready(preg, start_cycle)
+            self.map.append(preg)
+
+    def lookup(self, arch_reg: int) -> int:
+        """Current physical register of ``arch_reg``."""
+        return self.map[arch_reg]
+
+    def rename_dest(self, arch_reg: int) -> tuple:
+        """Allocate a new mapping for ``arch_reg``.
+
+        Returns ``(new_preg, prev_preg)``; the previous mapping is freed
+        when the renaming instruction retires, or restored if it is
+        squashed.
+        """
+        prev = self.map[arch_reg]
+        new = self._regfile.allocate()
+        self.map[arch_reg] = new
+        return new, prev
+
+    def undo_rename(self, arch_reg: int, new_preg: int, prev_preg: int) -> None:
+        """Roll back a rename during a squash (youngest-first order)."""
+        if self.map[arch_reg] != new_preg:
+            raise RuntimeError(
+                f"rename rollback out of order for arch reg {arch_reg}"
+            )
+        self.map[arch_reg] = prev_preg
+        self._regfile.free(new_preg)

@@ -1,0 +1,103 @@
+"""High-level simulation entry point.
+
+:func:`simulate` is the one-call API used by examples, tests and
+benchmarks: resolve a workload name (single benchmark or SMT pair),
+build a :class:`~repro.core.pipeline.Simulator`, run warmup plus a
+measurement window, and wrap everything in a :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Simulator
+from repro.core.stats import CoreStats
+from repro.workloads import WorkloadProfile, workload_profiles
+
+#: Default measurement window, sized so loop phenomena reach steady
+#: state while keeping pure-Python runs fast (DESIGN.md §3).
+DEFAULT_INSTRUCTIONS = 20_000
+#: Functional (fast-forward) warmup ops per thread: trains predictors,
+#: BTB, caches and TLB, standing in for the paper's 1-2 M skipped
+#: instructions.
+DEFAULT_WARMUP = 100_000
+#: Detailed-pipeline warmup before the measurement window opens.
+DEFAULT_DETAILED_WARMUP = 1_500
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    workload: str
+    config: CoreConfig
+    stats: CoreStats
+    seed: int
+
+    @property
+    def ipc(self) -> float:
+        """Post-warmup instructions per cycle."""
+        return self.stats.measured_ipc
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """This run's IPC relative to ``baseline`` (1.0 = equal)."""
+        if baseline.ipc == 0:
+            raise ZeroDivisionError("baseline run retired nothing")
+        return self.ipc / baseline.ipc
+
+    def describe(self) -> str:
+        """A one-line human-readable summary."""
+        return (
+            f"{self.workload:>18s} {self.config.label:>10s} "
+            f"ipc={self.ipc:5.2f} reissues={self.stats.total_reissues:6d} "
+            f"bmiss={self.stats.branch_mispredict_rate:6.1%} "
+            f"l1miss={self.stats.load_l1_miss_rate:6.1%}"
+        )
+
+
+def simulate(
+    workload: Union[str, List[WorkloadProfile]],
+    config: Optional[CoreConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    detailed_warmup: int = DEFAULT_DETAILED_WARMUP,
+    seed: int = 0,
+    max_cycles: Optional[int] = None,
+) -> SimResult:
+    """Simulate ``workload`` on ``config`` and return the result.
+
+    Parameters
+    ----------
+    workload:
+        A workload name (``"swim"``, ``"go+su2cor"``, ...) or an explicit
+        list of per-thread profiles.
+    config:
+        Machine description; defaults to the paper's base machine.
+    instructions:
+        Retired instructions in the measurement window.
+    warmup:
+        Functional fast-forward ops per thread before detailed
+        simulation (trains predictors, BTB, caches, TLB).
+    detailed_warmup:
+        Instructions retired under detailed simulation before the
+        measurement window opens (fills the pipeline to steady state).
+    seed:
+        Workload generation seed.
+    max_cycles:
+        Optional hard cycle cap (for tests).
+    """
+    if config is None:
+        config = CoreConfig.base()
+    if isinstance(workload, str):
+        name = workload
+        profiles = workload_profiles(workload)
+    else:
+        profiles = list(workload)
+        name = "+".join(p.name for p in profiles)
+    simulator = Simulator(config, profiles, seed=seed)
+    if warmup:
+        simulator.functional_warmup(warmup)
+    simulator.run(instructions, warmup=detailed_warmup, max_cycles=max_cycles)
+    return SimResult(workload=name, config=config, stats=simulator.stats, seed=seed)

@@ -1,0 +1,220 @@
+"""Simulation statistics.
+
+``CoreStats`` aggregates every counter the paper's figures and analysis
+need: IPC, reissue (useless work) by cause, operand-source breakdown
+(Figure 9), the operand-availability gap samples behind Figure 6, branch
+and memory behaviour, IQ occupancy pressure, and per-loop cost records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class OperandSource(enum.Enum):
+    """Where an operand value was obtained at execute (paper Figure 9)."""
+
+    PREREAD = "preread"        # read from the register file in DEC->IQ
+    FORWARD = "forward"        # forwarding buffer (timely operand)
+    CRC = "crc"                # cluster register cache (cached operand)
+    MISS = "miss"              # operand miss -> register file recovery
+    REGFILE = "regfile"        # base machine: read during IQ->EX
+
+
+class ReissueCause(enum.Enum):
+    """Why an issued instruction had to reissue."""
+
+    LOAD_MISS = "load_miss"            # load resolution loop mis-speculation
+    OPERAND_MISS = "operand_miss"      # operand resolution loop (DRA)
+    DEPENDENT_INVALID = "dependent"    # transitively read an invalid value
+
+
+@dataclass
+class ThreadStats:
+    """Per-hardware-thread counters."""
+
+    fetched: int = 0
+    retired: int = 0
+    #: cycles this thread's fetch was blocked on an unresolved branch
+    branch_stall_cycles: int = 0
+
+
+@dataclass
+class CoreStats:
+    """All counters for one simulation run."""
+
+    cycles: int = 0
+    threads: List[ThreadStats] = field(default_factory=list)
+
+    # --- measurement window (IPC is reported post-warmup) -----------------
+    measure_start_cycle: int = 0
+    measure_start_retired: int = 0
+
+    # --- issue activity --------------------------------------------------
+    issues: int = 0
+    first_issues: int = 0
+    reissues: Dict[ReissueCause, int] = field(
+        default_factory=lambda: {cause: 0 for cause in ReissueCause}
+    )
+
+    # --- branch loop ------------------------------------------------------
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    btb_misses: int = 0
+    ras_mispredicts: int = 0
+
+    # --- load loop ---------------------------------------------------------
+    loads_executed: int = 0
+    load_l1_misses: int = 0
+    load_l2_misses: int = 0
+    load_bank_conflicts: int = 0
+    dtlb_misses: int = 0
+    #: loads whose latency differed from the predicted L1 hit
+    load_misspeculations: int = 0
+
+    # --- DRA / operand loop -----------------------------------------------------
+    operand_reads: Dict[OperandSource, int] = field(
+        default_factory=lambda: {source: 0 for source in OperandSource}
+    )
+    operand_miss_events: int = 0
+    crc_insertions: int = 0
+    crc_invalidations: int = 0
+    crc_evictions: int = 0
+    insertion_saturations: int = 0
+
+    # --- figure 6 instrumentation --------------------------------------------
+    #: |first operand avail - second operand avail| for 2-source instrs
+    operand_gap_samples: List[int] = field(default_factory=list)
+
+    # --- occupancy / pressure ----------------------------------------------
+    iq_occupancy_sum: int = 0
+    iq_issued_waiting_sum: int = 0
+    iq_full_stall_cycles: int = 0
+    rob_full_stall_cycles: int = 0
+    frontend_dra_stall_cycles: int = 0
+    #: cycles renaming stalled behind a memory barrier (§1's example of
+    #: an infrequent loop managed by stalling)
+    barrier_stall_cycles: int = 0
+
+    # --- memory dependence loop ------------------------------------------------
+    #: load/store reorder traps (recovery at fetch, §1's worked example)
+    memdep_traps: int = 0
+    #: loads renamed with their store-wait bit set
+    store_wait_loads: int = 0
+    store_queue_full_stalls: int = 0
+
+    # --- squashes (refetch recovery / traps) ----------------------------------
+    squashed_instructions: int = 0
+    load_refetch_flushes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            self.threads = [ThreadStats()]
+
+    # --- derived metrics -------------------------------------------------------
+
+    @property
+    def retired(self) -> int:
+        """Total instructions retired across all threads."""
+        return sum(t.retired for t in self.threads)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle (0 when no cycles ran)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.retired / self.cycles
+
+    def start_measurement(self) -> None:
+        """Mark the end of warmup; ``measured_ipc`` covers what follows."""
+        self.measure_start_cycle = self.cycles
+        self.measure_start_retired = self.retired
+
+    @property
+    def measured_cycles(self) -> int:
+        """Cycles inside the measurement window."""
+        return self.cycles - self.measure_start_cycle
+
+    @property
+    def measured_retired(self) -> int:
+        """Instructions retired inside the measurement window."""
+        return self.retired - self.measure_start_retired
+
+    @property
+    def measured_ipc(self) -> float:
+        """Post-warmup IPC — the figure-of-merit for all experiments."""
+        if self.measured_cycles == 0:
+            return 0.0
+        return self.measured_retired / self.measured_cycles
+
+    @property
+    def total_reissues(self) -> int:
+        """Instructions reissued — the paper's useless-work measure."""
+        return sum(self.reissues.values())
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        """Conditional-branch direction mispredict rate."""
+        if self.cond_branches == 0:
+            return 0.0
+        return self.cond_mispredicts / self.cond_branches
+
+    @property
+    def load_l1_miss_rate(self) -> float:
+        """L1 data miss rate over executed loads."""
+        if self.loads_executed == 0:
+            return 0.0
+        return self.load_l1_misses / self.loads_executed
+
+    @property
+    def total_operand_reads(self) -> int:
+        """Operand reads classified by source (DRA runs)."""
+        return sum(self.operand_reads.values())
+
+    @property
+    def operand_miss_rate(self) -> float:
+        """Fraction of operand reads that missed (the §6 apsi metric)."""
+        total = self.total_operand_reads
+        if total == 0:
+            return 0.0
+        return self.operand_reads[OperandSource.MISS] / total
+
+    def operand_source_fractions(self) -> Dict[OperandSource, float]:
+        """Normalised operand-source breakdown (Figure 9 rows)."""
+        total = self.total_operand_reads
+        if total == 0:
+            return {source: 0.0 for source in OperandSource}
+        return {
+            source: count / total
+            for source, count in self.operand_reads.items()
+        }
+
+    @property
+    def avg_iq_occupancy(self) -> float:
+        """Mean issue-queue occupancy over the run."""
+        if self.cycles == 0:
+            return 0.0
+        return self.iq_occupancy_sum / self.cycles
+
+    @property
+    def avg_iq_issued_waiting(self) -> float:
+        """Mean IQ entries holding already-issued instructions (§2.2.2)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.iq_issued_waiting_sum / self.cycles
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of headline metrics for reports."""
+        return {
+            "cycles": float(self.cycles),
+            "retired": float(self.retired),
+            "ipc": self.ipc,
+            "reissues": float(self.total_reissues),
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+            "load_l1_miss_rate": self.load_l1_miss_rate,
+            "operand_miss_rate": self.operand_miss_rate,
+            "avg_iq_occupancy": self.avg_iq_occupancy,
+            "avg_iq_issued_waiting": self.avg_iq_issued_waiting,
+        }

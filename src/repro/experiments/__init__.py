@@ -1,0 +1,61 @@
+"""Experiment drivers.
+
+One module per artefact of the paper's evaluation:
+
+* :mod:`repro.experiments.fig4` — speedup vs decode-to-execute length.
+* :mod:`repro.experiments.fig5` — fixed-total-latency pipeline balance.
+* :mod:`repro.experiments.fig6` — operand-availability-gap CDF.
+* :mod:`repro.experiments.fig8` — DRA vs base speedups.
+* :mod:`repro.experiments.fig9` — operand-source breakdown.
+* :mod:`repro.experiments.ablations` — recovery policy / CRC / FB studies.
+* :mod:`repro.experiments.loop_inventory` — the §1 loop framework tables.
+
+All drivers accept an :class:`ExperimentSettings` so tests, benchmarks
+and the CLI can trade fidelity for runtime.
+"""
+
+from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.fig4 import Figure4Result, run_figure4
+from repro.experiments.fig5 import Figure5Result, run_figure5
+from repro.experiments.fig6 import Figure6Result, run_figure6
+from repro.experiments.fig8 import Figure8Result, run_figure8
+from repro.experiments.fig9 import Figure9Result, run_figure9
+from repro.experiments.ablations import (
+    run_centralization_ablation,
+    run_crc_ablation,
+    run_forwarding_ablation,
+    run_iq_size_ablation,
+    run_memdep_ablation,
+    run_predictor_ablation,
+    run_recovery_ablation,
+    run_rf_ports_ablation,
+    run_slotting_ablation,
+    run_wake_lead_ablation,
+)
+from repro.experiments.loop_inventory import render_loop_inventory
+
+__all__ = [
+    "ExperimentSettings",
+    "run_config",
+    "run_figure4",
+    "Figure4Result",
+    "run_figure5",
+    "Figure5Result",
+    "run_figure6",
+    "Figure6Result",
+    "run_figure8",
+    "Figure8Result",
+    "run_figure9",
+    "Figure9Result",
+    "run_recovery_ablation",
+    "run_crc_ablation",
+    "run_forwarding_ablation",
+    "run_slotting_ablation",
+    "run_centralization_ablation",
+    "run_memdep_ablation",
+    "run_wake_lead_ablation",
+    "run_iq_size_ablation",
+    "run_rf_ports_ablation",
+    "run_predictor_ablation",
+    "render_loop_inventory",
+]

@@ -1,0 +1,347 @@
+"""Ablation studies for the design choices the paper discusses in prose.
+
+* **Load-miss recovery policy** (§2.2.2): reissue ≫ refetch, and both
+  beat stalling — the paper dismisses re-fetch after finding it
+  "performs significantly worse than reissue".
+* **CRC geometry and policy** (§5.1): a 16-entry FIFO CRC is "more than
+  adequate"; near-oracle replacement buys almost nothing.
+* **Forwarding-buffer depth** (§4 / Figure 6): the 9-cycle window covers
+  about half of all operand gaps; shrinking it shifts traffic onto the
+  CRCs and the operand miss rate.
+* **Cluster slotting**: dependence-based slotting versus round-robin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_heading, format_table, percent
+from repro.core import CoreConfig, DRAConfig, LoadRecovery, OperandSource
+from repro.experiments.runner import ExperimentSettings, run_config
+
+#: Representative workloads: a branchy integer code, the archetypal
+#: load-loop code, and the operand-miss-prone low-ILP code.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("compress", "swim", "apsi")
+
+
+@dataclass
+class AblationResult:
+    """Generic ablation output: variant -> workload -> metric."""
+
+    title: str
+    variants: List[str] = field(default_factory=list)
+    #: variant -> workload -> relative IPC (vs the first variant)
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: variant -> workload -> auxiliary metric (policy dependent)
+    aux: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def relative(self, variant: str, workload: str) -> float:
+        """IPC of a variant relative to the baseline variant."""
+        return self.rows[variant][workload]
+
+    def render(self) -> str:
+        """The ablation as a text table."""
+        workloads = list(next(iter(self.rows.values())).keys())
+        headers = ["variant"] + workloads
+        rows = [
+            [variant] + [percent(self.rows[variant][w]) for w in workloads]
+            for variant in self.variants
+        ]
+        return format_heading(self.title) + "\n" + format_table(headers, rows)
+
+
+def run_recovery_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> AblationResult:
+    """Load-miss recovery policies on the base machine (§2.2.2)."""
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: load resolution loop management")
+    policies = [LoadRecovery.REISSUE, LoadRecovery.REFETCH, LoadRecovery.STALL]
+    baseline: Dict[str, float] = {}
+    for policy in policies:
+        variant = policy.value
+        result.variants.append(variant)
+        result.rows[variant] = {}
+        for workload in workloads:
+            config = CoreConfig.base().replace(load_recovery=policy)
+            point = run_config(workload, config, settings)
+            if policy is LoadRecovery.REISSUE:
+                baseline[workload] = point.ipc
+            result.rows[variant][workload] = point.ipc / baseline[workload]
+    return result
+
+
+def run_crc_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    entries: Sequence[int] = (4, 8, 16, 32),
+    rf_latency: int = 5,
+) -> AblationResult:
+    """CRC capacity and replacement policy (§5.1)."""
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: cluster register cache geometry")
+    baseline: Dict[str, float] = {}
+    variants: List[Tuple[str, DRAConfig]] = [
+        (f"fifo-{n}", DRAConfig(crc_entries=n)) for n in entries
+    ]
+    variants.append(("oracle-16", DRAConfig(crc_entries=16, oracle_crc=True)))
+    for name, dra in variants:
+        result.variants.append(name)
+        result.rows[name] = {}
+        result.aux[name] = {}
+        for workload in workloads:
+            config = CoreConfig.with_dra(rf_latency, dra=dra)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[name][workload] = point.ipc / baseline[workload]
+            result.aux[name][workload] = point.last.stats.operand_miss_rate
+    return result
+
+
+def run_forwarding_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    depths: Sequence[int] = (3, 6, 9, 15),
+    rf_latency: int = 5,
+) -> AblationResult:
+    """Forwarding-buffer depth under the DRA (§4, Figure 6)."""
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: forwarding buffer depth")
+    baseline: Dict[str, float] = {}
+    for depth in depths:
+        variant = f"fb-{depth}"
+        result.variants.append(variant)
+        result.rows[variant] = {}
+        result.aux[variant] = {}
+        for workload in workloads:
+            config = CoreConfig.with_dra(rf_latency).replace(fb_depth=depth)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[variant][workload] = point.ipc / baseline[workload]
+            stats = point.last.stats
+            fractions = stats.operand_source_fractions()
+            result.aux[variant][workload] = fractions[OperandSource.FORWARD]
+    return result
+
+
+def run_predictor_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ("compress", "go", "m88ksim"),
+    kinds: Sequence[str] = ("taken", "bimodal", "gshare", "local", "tournament"),
+) -> AblationResult:
+    """Branch predictor choice — attacking the branch loop's *rate*.
+
+    The §1 cost model says mis-speculation cost = occurrences x rate x
+    impact; the predictor is the machine's lever on the rate term.
+    """
+    from repro.branch.predictors import PredictorSpec
+
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: branch direction predictor")
+    baseline: Dict[str, float] = {}
+    for kind in kinds:
+        result.variants.append(kind)
+        result.rows[kind] = {}
+        result.aux[kind] = {}
+        for workload in workloads:
+            config = CoreConfig.base().replace(
+                predictor=PredictorSpec(kind=kind)
+            )
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[kind][workload] = point.ipc / baseline[workload]
+            result.aux[kind][workload] = (
+                point.last.stats.branch_mispredict_rate
+            )
+    return result
+
+
+def run_rf_ports_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ("m88ksim", "swim"),
+    ports: Sequence[int] = (16, 12, 8, 4),
+) -> AblationResult:
+    """Register-file read ports on the base machine (§2.1).
+
+    The paper keeps full port capability (16 read ports for 8-wide
+    issue) and argues in prose that "the full port capability is not
+    needed in most cases" yet reducing ports "adds unnecessary
+    complexity".  This ablation measures the bandwidth side: how much
+    performance a port-limited issue stage actually loses.
+    """
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: register file read ports")
+    baseline: Dict[str, float] = {}
+    for count in ports:
+        variant = f"ports-{count}"
+        result.variants.append(variant)
+        result.rows[variant] = {}
+        for workload in workloads:
+            config = CoreConfig.base().replace(rf_read_ports=count)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[variant][workload] = point.ipc / baseline[workload]
+    return result
+
+
+def run_wake_lead_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ("swim", "compress"),
+    leads: Sequence[int] = (0, 3, 6, 12),
+) -> AblationResult:
+    """How aggressively missed-load dependents may wake (§2.2.2).
+
+    ``load_fill_wake_lead`` is the number of cycles before a missed
+    load's fill that dependents may begin to reissue.  0 is the paper's
+    conservative semantics (reissue after resolution: the dependent
+    reaches execute a full IQ->EX after the data); a lead of IQ->EX
+    would hide the issue traversal entirely.  This isolates the
+    mechanism behind Figure 5.
+    """
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: load-fill wake lead")
+    baseline: Dict[str, float] = {}
+    for lead in leads:
+        variant = f"lead-{lead}"
+        result.variants.append(variant)
+        result.rows[variant] = {}
+        for workload in workloads:
+            config = CoreConfig.base().replace(load_fill_wake_lead=lead)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[variant][workload] = point.ipc / baseline[workload]
+    return result
+
+
+def run_iq_size_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ("swim", "compress"),
+    sizes: Sequence[int] = (32, 64, 128, 256),
+) -> AblationResult:
+    """Issue-queue capacity vs the §2.2.2 retention pressure.
+
+    Issued instructions hold IQ entries for a full loop delay; with a
+    small queue that retention visibly throttles the window.
+    """
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: issue queue capacity")
+    baseline: Dict[str, float] = {}
+    for size in sizes:
+        variant = f"iq-{size}"
+        result.variants.append(variant)
+        result.rows[variant] = {}
+        result.aux[variant] = {}
+        for workload in workloads:
+            config = CoreConfig.base().replace(iq_entries=size)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[variant][workload] = point.ipc / baseline[workload]
+            result.aux[variant][workload] = (
+                point.last.stats.avg_iq_issued_waiting
+            )
+    return result
+
+
+def run_centralization_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ("swim", "compress"),
+    rf_latency: int = 5,
+) -> AblationResult:
+    """One central register cache vs the distributed CRCs (§4).
+
+    The paper argues a single small register cache must fail: "a small
+    register cache results in a high miss rate ... a register cache may
+    need to be of comparable size to a register file".  The variants:
+    the DRA's 8 x 16 distributed CRCs, a single shared 16-entry cache,
+    and a single cache grown to 128 entries (register-file-class
+    capacity, which hardware could not read in one cycle).
+    """
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: distributed vs central register cache")
+    variants: List[Tuple[str, DRAConfig]] = [
+        ("distributed-8x16", DRAConfig()),
+        ("central-16", DRAConfig(centralized=True)),
+        ("central-128", DRAConfig(centralized=True, crc_entries=128)),
+    ]
+    baseline: Dict[str, float] = {}
+    for name, dra in variants:
+        result.variants.append(name)
+        result.rows[name] = {}
+        result.aux[name] = {}
+        for workload in workloads:
+            config = CoreConfig.with_dra(rf_latency, dra=dra)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[name][workload] = point.ipc / baseline[workload]
+            result.aux[name][workload] = point.last.stats.operand_miss_rate
+    return result
+
+
+def run_memdep_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ("compress", "swim"),
+) -> AblationResult:
+    """Memory dependence loop management policies (paper Figure 2).
+
+    Store-wait prediction (the default) against always-speculate
+    (``naive``), never-speculate (``conservative``), and perfect
+    disambiguation (``disabled``) on the base machine.
+    """
+    from repro.core.memdep import MemDepConfig, MemDepPolicy
+
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: memory dependence speculation")
+    variants = [
+        ("predict", MemDepConfig(policy=MemDepPolicy.PREDICT)),
+        ("naive", MemDepConfig(policy=MemDepPolicy.NAIVE)),
+        ("conservative", MemDepConfig(policy=MemDepPolicy.CONSERVATIVE)),
+        ("disabled", None),
+    ]
+    baseline: Dict[str, float] = {}
+    for name, memdep in variants:
+        result.variants.append(name)
+        result.rows[name] = {}
+        result.aux[name] = {}
+        for workload in workloads:
+            config = CoreConfig.base().replace(memdep=memdep)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[name][workload] = point.ipc / baseline[workload]
+            result.aux[name][workload] = float(
+                point.last.stats.memdep_traps
+            )
+    return result
+
+
+def run_slotting_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    rf_latency: int = 5,
+) -> AblationResult:
+    """Dependence-based versus round-robin cluster slotting."""
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title="Ablation: cluster slotting policy")
+    baseline: Dict[str, float] = {}
+    for slotting in ("dependence", "round_robin"):
+        result.variants.append(slotting)
+        result.rows[slotting] = {}
+        result.aux[slotting] = {}
+        for workload in workloads:
+            config = CoreConfig.with_dra(rf_latency).replace(slotting=slotting)
+            point = run_config(workload, config, settings)
+            if not baseline.get(workload):
+                baseline[workload] = point.ipc
+            result.rows[slotting][workload] = point.ipc / baseline[workload]
+            result.aux[slotting][workload] = point.last.stats.operand_miss_rate
+    return result

@@ -1,0 +1,74 @@
+"""Figure 4 — performance vs pipeline length.
+
+The decode-to-execute portion of the pipeline is varied from 6 to 18
+cycles in increments of 4 (2 each for DEC->IQ and IQ->EX, exactly as the
+paper describes), and each workload's IPC is reported relative to its
+6-cycle configuration.  Numbers below 100 % are performance loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_heading, format_table, percent
+from repro.core import CoreConfig
+from repro.experiments.runner import ExperimentSettings, run_config
+from repro.workloads import ALL_WORKLOADS
+
+#: The paper's four (DEC->IQ, IQ->EX) points: 6, 10, 14, 18 total cycles.
+PIPE_POINTS: Tuple[Tuple[int, int], ...] = ((3, 3), (5, 5), (7, 7), (9, 9))
+
+
+@dataclass
+class Figure4Result:
+    """Relative performance per workload per pipeline length."""
+
+    #: workload -> speedups relative to the shortest pipe (first = 1.0)
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+    #: absolute IPC of the 6-cycle configuration per workload
+    base_ipc: Dict[str, float] = field(default_factory=dict)
+    points: Tuple[Tuple[int, int], ...] = PIPE_POINTS
+
+    def loss_at_longest(self, workload: str) -> float:
+        """Fractional loss at the 18-cycle point (positive = slower)."""
+        return 1.0 - self.rows[workload][-1]
+
+    def render(self) -> str:
+        """The figure as a text table."""
+        headers = ["workload"] + [
+            f"{d + q}cyc ({d}_{q})" for d, q in self.points
+        ]
+        rows = [
+            [name] + [percent(v) for v in values]
+            for name, values in self.rows.items()
+        ]
+        return (
+            format_heading(
+                "Figure 4: speedup vs decode-to-execute length "
+                "(relative to 6 cycles)"
+            )
+            + "\n"
+            + format_table(headers, rows)
+        )
+
+
+def run_figure4(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Figure4Result:
+    """Regenerate Figure 4."""
+    settings = settings or ExperimentSettings()
+    result = Figure4Result()
+    for workload in workloads:
+        speedups: List[float] = []
+        base_ipc: Optional[float] = None
+        for dec_iq, iq_ex in PIPE_POINTS:
+            config = CoreConfig.base().with_pipe(dec_iq, iq_ex)
+            point = run_config(workload, config, settings)
+            if base_ipc is None:
+                base_ipc = point.ipc
+            speedups.append(point.ipc / base_ipc)
+        result.rows[workload] = speedups
+        result.base_ipc[workload] = base_ipc or 0.0
+    return result

@@ -1,0 +1,71 @@
+"""Figure 5 — not all pipelines are created equal.
+
+The overall DEC->EX length is held at 12 cycles while the split between
+DEC->IQ (X) and IQ->EX (Y) varies: 3_9, 5_7, 7_5, 9_3.  Performance is
+relative to 3_9.  The paper's claim: moving cycles out of the IQ->EX
+segment — the segment the load resolution loop traverses — improves
+performance even though the pipeline is no shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_heading, format_table, percent
+from repro.core import CoreConfig
+from repro.experiments.runner import ExperimentSettings, run_config
+from repro.workloads import ALL_WORKLOADS
+
+#: The paper's fixed-total configurations (X_Y with X + Y = 12).
+BALANCE_POINTS: Tuple[Tuple[int, int], ...] = ((3, 9), (5, 7), (7, 5), (9, 3))
+
+
+@dataclass
+class Figure5Result:
+    """Relative performance per workload per pipeline balance."""
+
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+    base_ipc: Dict[str, float] = field(default_factory=dict)
+    points: Tuple[Tuple[int, int], ...] = BALANCE_POINTS
+
+    def gain_at_best(self, workload: str) -> float:
+        """Fractional gain of 9_3 over 3_9."""
+        return self.rows[workload][-1] - 1.0
+
+    def render(self) -> str:
+        """The figure as a text table."""
+        headers = ["workload"] + [f"{d}_{q}" for d, q in self.points]
+        rows = [
+            [name] + [percent(v) for v in values]
+            for name, values in self.rows.items()
+        ]
+        return (
+            format_heading(
+                "Figure 5: fixed 12-cycle DEC->EX, varying the X_Y split "
+                "(relative to 3_9)"
+            )
+            + "\n"
+            + format_table(headers, rows)
+        )
+
+
+def run_figure5(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Figure5Result:
+    """Regenerate Figure 5."""
+    settings = settings or ExperimentSettings()
+    result = Figure5Result()
+    for workload in workloads:
+        speedups: List[float] = []
+        base_ipc: Optional[float] = None
+        for dec_iq, iq_ex in BALANCE_POINTS:
+            config = CoreConfig.base().with_pipe(dec_iq, iq_ex)
+            point = run_config(workload, config, settings)
+            if base_ipc is None:
+                base_ipc = point.ipc
+            speedups.append(point.ipc / base_ipc)
+        result.rows[workload] = speedups
+        result.base_ipc[workload] = base_ipc or 0.0
+    return result

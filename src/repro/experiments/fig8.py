@@ -1,0 +1,84 @@
+"""Figure 8 — DRA speedups over the base architecture.
+
+For register-file read latencies of 3, 5 and 7 cycles the DRA pipeline
+(register read moved into DEC->IQ, IQ->EX shrunk to 3) is compared to
+the matching base pipeline:
+
+* rf=3: DRA 5_3 vs Base 5_5
+* rf=5: DRA 7_3 vs Base 5_7
+* rf=7: DRA 9_3 vs Base 5_9
+
+The paper reports gains of up to 4 % / 9 % / 15 % respectively, with
+``apsi`` (and ``apsi+swim``) losing because its ~1.5 % operand miss
+rate on the new operand resolution loop outweighs the shorter pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_heading, format_table, percent
+from repro.core import CoreConfig
+from repro.experiments.runner import ExperimentSettings, run_config
+from repro.workloads import ALL_WORKLOADS
+
+#: The paper's three register-file read latencies.
+RF_LATENCIES: Tuple[int, ...] = (3, 5, 7)
+
+
+@dataclass
+class Figure8Result:
+    """DRA-vs-base speedups per workload per register-file latency."""
+
+    #: workload -> [speedup at rf=3, rf=5, rf=7] (1.0 = no change)
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+    #: workload -> [DRA operand miss rate at each rf latency]
+    miss_rates: Dict[str, List[float]] = field(default_factory=dict)
+    rf_latencies: Tuple[int, ...] = RF_LATENCIES
+
+    def speedup(self, workload: str, rf_latency: int) -> float:
+        """Speedup of the DRA for one workload and rf latency."""
+        return self.rows[workload][self.rf_latencies.index(rf_latency)]
+
+    def best_gain(self, rf_latency: int) -> float:
+        """The 'up to' number: max fractional gain at one rf latency."""
+        index = self.rf_latencies.index(rf_latency)
+        return max(values[index] for values in self.rows.values()) - 1.0
+
+    def render(self) -> str:
+        """The figure as a text table."""
+        headers = ["workload"] + [
+            f"DRA:{max(5, 2 + rf)}_3 vs Base:5_{2 + rf}"
+            for rf in self.rf_latencies
+        ]
+        rows = [
+            [name] + [percent(v) for v in values]
+            for name, values in self.rows.items()
+        ]
+        return (
+            format_heading("Figure 8: DRA speedup over the base architecture")
+            + "\n"
+            + format_table(headers, rows)
+        )
+
+
+def run_figure8(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    rf_latencies: Tuple[int, ...] = RF_LATENCIES,
+) -> Figure8Result:
+    """Regenerate Figure 8."""
+    settings = settings or ExperimentSettings()
+    result = Figure8Result(rf_latencies=rf_latencies)
+    for workload in workloads:
+        speedups: List[float] = []
+        misses: List[float] = []
+        for rf in rf_latencies:
+            base = run_config(workload, CoreConfig.base(rf), settings)
+            dra = run_config(workload, CoreConfig.with_dra(rf), settings)
+            speedups.append(dra.ipc / base.ipc)
+            misses.append(dra.last.stats.operand_miss_rate)
+        result.rows[workload] = speedups
+        result.miss_rates[workload] = misses
+    return result

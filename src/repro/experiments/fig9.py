@@ -1,0 +1,78 @@
+"""Figure 9 — where operands come from under the DRA.
+
+For the 7_3 DRA configuration (5-cycle register file) every operand read
+is classified: pre-read from the register file during DEC->IQ, hit in
+the forwarding buffer, hit in a cluster register cache, or an operand
+miss.  The paper's observations: more than half of all operands come
+from the forwarding buffer; the rest split between pre-read and the
+CRCs; miss rates are well under 1 % except apsi's ~1.5 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import format_heading, format_table, percent
+from repro.core import CoreConfig, OperandSource
+from repro.experiments.runner import ExperimentSettings, run_config
+from repro.workloads import ALL_WORKLOADS
+
+#: Register-file latency of the paper's Figure 9 machine (7_3 DRA).
+DEFAULT_RF_LATENCY = 5
+
+
+@dataclass
+class Figure9Result:
+    """Operand source fractions per workload."""
+
+    #: workload -> {source: fraction}; fractions sum to 1
+    rows: Dict[str, Dict[OperandSource, float]] = field(default_factory=dict)
+    rf_latency: int = DEFAULT_RF_LATENCY
+
+    def fraction(self, workload: str, source: OperandSource) -> float:
+        """One cell of the figure."""
+        return self.rows[workload][source]
+
+    def render(self) -> str:
+        """The figure as a text table."""
+        headers = ["workload", "pre-read", "fwd buffer", "CRC", "miss"]
+        rows = []
+        for name, fractions in self.rows.items():
+            rows.append(
+                [
+                    name,
+                    percent(fractions[OperandSource.PREREAD]),
+                    percent(fractions[OperandSource.FORWARD]),
+                    percent(fractions[OperandSource.CRC]),
+                    percent(fractions[OperandSource.MISS], digits=2),
+                ]
+            )
+        title = (
+            f"Figure 9: operand sources for the "
+            f"{max(5, 2 + self.rf_latency)}_3 DRA configuration"
+        )
+        return format_heading(title) + "\n" + format_table(headers, rows)
+
+
+def run_figure9(
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    rf_latency: int = DEFAULT_RF_LATENCY,
+) -> Figure9Result:
+    """Regenerate Figure 9."""
+    settings = settings or ExperimentSettings()
+    result = Figure9Result(rf_latency=rf_latency)
+    for workload in workloads:
+        point = run_config(workload, CoreConfig.with_dra(rf_latency), settings)
+        totals: Dict[OperandSource, float] = {s: 0.0 for s in OperandSource}
+        reads = 0
+        for sim_result in point.results:
+            stats = sim_result.stats
+            reads += stats.total_operand_reads
+            for source, count in stats.operand_reads.items():
+                totals[source] += count
+        if reads:
+            totals = {s: c / reads for s, c in totals.items()}
+        result.rows[workload] = totals
+    return result

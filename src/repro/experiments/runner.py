@@ -1,0 +1,101 @@
+"""Shared experiment machinery: settings, seed-averaged runs, caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import mean
+from repro.core import CoreConfig, SimResult, simulate
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Fidelity/runtime trade-off for experiment drivers.
+
+    The defaults are sized for interactive use; the paper's figures are
+    regenerated with the same settings by the benchmark suite.
+    """
+
+    instructions: int = 10_000
+    warmup: int = 100_000
+    detailed_warmup: int = 1_500
+    seeds: Tuple[int, ...] = (0,)
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Small runs for tests (~seconds per configuration)."""
+        return cls(instructions=3_000, warmup=30_000, detailed_warmup=500)
+
+    @classmethod
+    def full(cls) -> "ExperimentSettings":
+        """Seed-averaged runs for the recorded EXPERIMENTS.md numbers."""
+        return cls(instructions=12_000, seeds=(0, 1))
+
+
+@dataclass
+class RunPoint:
+    """Seed-averaged result of one (workload, config) cell."""
+
+    workload: str
+    config: CoreConfig
+    ipc: float
+    results: List[SimResult] = field(default_factory=list)
+
+    @property
+    def last(self) -> SimResult:
+        """The last seed's full result (for detailed counters)."""
+        return self.results[-1]
+
+
+class _RunCache:
+    """Memoises (workload, config, settings) cells within a process."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[tuple, RunPoint] = {}
+
+    def key(self, workload: str, config: CoreConfig,
+            settings: ExperimentSettings) -> tuple:
+        return (workload, config, settings)
+
+    def get(self, key: tuple) -> Optional[RunPoint]:
+        return self._cells.get(key)
+
+    def put(self, key: tuple, point: RunPoint) -> None:
+        self._cells[key] = point
+
+
+_CACHE = _RunCache()
+
+
+def run_config(
+    workload: str,
+    config: CoreConfig,
+    settings: ExperimentSettings,
+    use_cache: bool = True,
+) -> RunPoint:
+    """Run one (workload, config) cell, averaged over the seeds."""
+    key = _CACHE.key(workload, config, settings)
+    if use_cache:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+    results = [
+        simulate(
+            workload,
+            config,
+            instructions=settings.instructions,
+            warmup=settings.warmup,
+            detailed_warmup=settings.detailed_warmup,
+            seed=seed,
+        )
+        for seed in settings.seeds
+    ]
+    point = RunPoint(
+        workload=workload,
+        config=config,
+        ipc=mean([r.ipc for r in results]),
+        results=results,
+    )
+    _CACHE.put(key, point)
+    return point

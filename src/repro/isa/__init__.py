@@ -1,0 +1,39 @@
+"""Micro-op instruction set model.
+
+The simulator is timing-directed and trace-driven: instructions carry
+everything the pipeline needs to compute *when* things happen (operation
+class, register identifiers, memory address, branch outcome), but no data
+values.  This mirrors the way timing models such as ASIM separate timing
+from functional emulation.
+
+Public API
+----------
+``OpClass``
+    Enumeration of operation classes with execution latencies.
+``MicroOp``
+    A static instruction as produced by a workload generator.
+``DynInst``
+    A dynamic (in-flight) instruction created at fetch time.
+``ArchRegs``
+    Architectural register-file constants (64 registers, ``r0`` hardwired
+    to zero).
+"""
+
+from repro.isa.opclasses import (
+    DEFAULT_LATENCIES,
+    MEMORY_CLASSES,
+    OpClass,
+)
+from repro.isa.registers import ZERO_REG, NUM_ARCH_REGS, ArchRegs
+from repro.isa.instructions import DynInst, MicroOp
+
+__all__ = [
+    "OpClass",
+    "DEFAULT_LATENCIES",
+    "MEMORY_CLASSES",
+    "MicroOp",
+    "DynInst",
+    "ArchRegs",
+    "ZERO_REG",
+    "NUM_ARCH_REGS",
+]

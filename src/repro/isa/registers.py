@@ -1,0 +1,57 @@
+"""Architectural register namespace.
+
+A flat space of 64 architectural registers per thread: identifiers 0-31
+are the integer file and 32-63 the floating-point file, matching the
+Alpha convention.  Register 0 is hardwired to zero — reading it creates
+no dependence and writing it is discarded, which the workload generators
+use to emit dependence-free instructions.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Reads of this register never create a dependence; writes are dropped.
+ZERO_REG = 0
+
+FIRST_FP_REG = NUM_INT_REGS
+
+
+class ArchRegs:
+    """Helpers for working with architectural register identifiers."""
+
+    NUM_INT = NUM_INT_REGS
+    NUM_FP = NUM_FP_REGS
+    TOTAL = NUM_ARCH_REGS
+    ZERO = ZERO_REG
+
+    @staticmethod
+    def is_valid(reg: int) -> bool:
+        """Whether ``reg`` names an architectural register."""
+        return 0 <= reg < NUM_ARCH_REGS
+
+    @staticmethod
+    def is_int(reg: int) -> bool:
+        """Whether ``reg`` is in the integer file."""
+        return 0 <= reg < FIRST_FP_REG
+
+    @staticmethod
+    def is_fp(reg: int) -> bool:
+        """Whether ``reg`` is in the floating-point file."""
+        return FIRST_FP_REG <= reg < NUM_ARCH_REGS
+
+    @staticmethod
+    def int_reg(index: int) -> int:
+        """The architectural identifier of integer register ``index``."""
+        if not 0 <= index < NUM_INT_REGS:
+            raise ValueError(f"integer register index out of range: {index}")
+        return index
+
+    @staticmethod
+    def fp_reg(index: int) -> int:
+        """The architectural identifier of FP register ``index``."""
+        if not 0 <= index < NUM_FP_REGS:
+            raise ValueError(f"fp register index out of range: {index}")
+        return FIRST_FP_REG + index

@@ -1,0 +1,26 @@
+"""Memory hierarchy substrate.
+
+Banked, set-associative caches with LRU replacement, a data TLB, and a
+two-level hierarchy front-ending a fixed-latency main memory.  The
+hierarchy returns a :class:`MemoryResult` describing where an access hit
+and the total latency — the non-deterministic load latency that creates
+the paper's load resolution loop.
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.tlb import TLB, TLBConfig
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    MemoryHierarchy,
+    MemoryResult,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "TLB",
+    "TLBConfig",
+    "MemoryHierarchy",
+    "MemoryResult",
+    "HierarchyConfig",
+]

@@ -1,0 +1,75 @@
+"""Data TLB model.
+
+The paper attributes part of ``turb3d``'s pipeline-length sensitivity to
+data-TLB misses, whose recovery starts "from the beginning of the
+pipeline" (§3.1).  The TLB here is a fully associative, LRU translation
+cache; a miss charges a fixed walk latency and the pipeline model
+additionally applies its front-end recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry and timing of the TLB."""
+
+    entries: int = 128
+    page_bytes: int = 8192
+    miss_latency: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+
+
+@dataclass
+class TLBStats:
+    """Access counters for the TLB."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class TLB:
+    """Fully associative, LRU translation lookaside buffer."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self.stats = TLBStats()
+        self._pages: List[int] = []
+        self._page_shift = config.page_bytes.bit_length() - 1
+
+    def page_of(self, addr: int) -> int:
+        """Virtual page number of ``addr``."""
+        return addr >> self._page_shift
+
+    def access(self, addr: int) -> bool:
+        """Translate ``addr``; returns True on hit, filling on a miss."""
+        self.stats.accesses += 1
+        page = self.page_of(addr)
+        if page in self._pages:
+            self._pages.remove(page)
+            self._pages.append(page)
+            return True
+        self.stats.misses += 1
+        self._pages.append(page)
+        if len(self._pages) > self.config.entries:
+            self._pages.pop(0)
+        return False
+
+    def invalidate_all(self) -> None:
+        """Empty the TLB."""
+        self._pages = []

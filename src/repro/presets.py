@@ -1,0 +1,86 @@
+"""Named machine presets.
+
+The paper positions its base machine against two references: the Alpha
+21264 (the source of the loop examples in §1 and Figure 2) and the
+Pentium 4 (the motivating "pipeline length greater than 20 stages with
+a ~20-cycle branch resolution" design).  These presets approximate both
+within this simulator's stage vocabulary so the loop arithmetic can be
+compared directly — ``examples/loop_inventory.py`` and the CLI's
+``loopsim loops`` accept them.
+
+These are *loop-geometry* presets: widths and structure sizes follow
+each machine loosely; the quantity being modelled is where the loops
+sit and how long they are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import CoreConfig
+
+__all__ = ["MACHINE_PRESETS", "preset"]
+
+
+def _alpha21264_like() -> CoreConfig:
+    """A 21264-flavoured short pipe: 7-stage, 4-wide-ish loops.
+
+    Branch resolution spans ~6 stages with single-cycle feedback (the
+    paper's 7-cycle minimum impact example); the load loop is short.
+    """
+    return CoreConfig(
+        fetch_width=4,
+        rename_width=4,
+        issue_width=4,
+        retire_width=4,
+        num_clusters=4,
+        fetch_depth=2,
+        dec_iq=2,
+        iq_ex=2,
+        rename_offset=1,
+        rf_read_latency=1,
+        iq_entries=35,          # 20 int + 15 fp in the real 21264
+        rob_entries=80,
+        num_pregs=512,
+        fb_depth=6,
+        iq_feedback_delay=1,
+        iq_clear_cycles=1,
+    )
+
+
+def _base_hpca02() -> CoreConfig:
+    """The paper's base machine (CoreConfig.base())."""
+    return CoreConfig.base()
+
+
+def _pentium4_like() -> CoreConfig:
+    """A long-pipe design: >20 stages, ~20-cycle branch resolution.
+
+    The paper's motivating example of where pipelines were heading.
+    """
+    return CoreConfig(
+        fetch_depth=6,
+        dec_iq=8,
+        iq_ex=8,
+        rename_offset=3,
+        rf_read_latency=5,
+        iq_feedback_delay=4,
+    )
+
+
+MACHINE_PRESETS: Dict[str, object] = {
+    "alpha21264": _alpha21264_like,
+    "base": _base_hpca02,
+    "pentium4": _pentium4_like,
+}
+
+
+def preset(name: str) -> CoreConfig:
+    """Build a named machine preset."""
+    try:
+        factory = MACHINE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; known: {sorted(MACHINE_PRESETS)}"
+        ) from None
+    return factory()

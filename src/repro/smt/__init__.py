@@ -1,0 +1,10 @@
+"""Simultaneous multithreading support.
+
+The base machine is an SMT design (§2); this package holds the fetch
+arbitration policies.  Thread state itself lives with the pipeline
+(:class:`repro.core.pipeline._ThreadState`).
+"""
+
+from repro.smt.policy import FETCH_POLICIES, choose_fetch_thread
+
+__all__ = ["choose_fetch_thread", "FETCH_POLICIES"]

@@ -1,0 +1,63 @@
+"""SMT fetch arbitration policies.
+
+``icount`` (the default, from Tullsen et al.) fetches for the thread
+with the fewest instructions in the front end and issue queue; it
+naturally throttles threads that are stalled or hogging the window —
+the property the paper leans on when observing that SMT damps
+loose-loop losses (§3.1: a mis-speculating thread recovers while the
+other keeps doing useful work).  ``round_robin`` alternates eligible
+threads blindly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+
+class FetchableThread(Protocol):
+    """What a policy needs to know about a thread."""
+
+    tid: int
+
+    @property
+    def icount(self) -> int:  # pragma: no cover - protocol
+        ...
+
+
+def _icount(threads: Sequence[FetchableThread], last_tid: int) -> Optional[FetchableThread]:
+    best: Optional[FetchableThread] = None
+    for thread in threads:
+        if best is None or thread.icount < best.icount:
+            best = thread
+    return best
+
+
+def _round_robin(threads: Sequence[FetchableThread], last_tid: int) -> Optional[FetchableThread]:
+    if not threads:
+        return None
+    ordered: List[FetchableThread] = sorted(threads, key=lambda t: t.tid)
+    for thread in ordered:
+        if thread.tid > last_tid:
+            return thread
+    return ordered[0]
+
+
+FETCH_POLICIES = {
+    "icount": _icount,
+    "round_robin": _round_robin,
+}
+
+
+def choose_fetch_thread(
+    eligible: Sequence[FetchableThread],
+    policy: str = "icount",
+    last_tid: int = -1,
+) -> Optional[FetchableThread]:
+    """Pick the thread to fetch for this cycle among eligible threads."""
+    try:
+        chooser = FETCH_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown fetch policy {policy!r}; known: {sorted(FETCH_POLICIES)}"
+        ) from None
+    return chooser(eligible, last_tid)

@@ -1,0 +1,49 @@
+"""Synthetic workload generation (Spec95 stand-ins).
+
+The paper drives its simulator with Spec95 binaries; those binaries (and
+an Alpha functional front end) are unavailable, so this package provides
+seeded synthetic instruction streams whose *characteristics* — the ones
+the paper's analysis attributes each benchmark's behaviour to — are
+dialled in per benchmark profile:
+
+* instruction mix and branch site behaviour (drives the real branch
+  predictor to a target-ish accuracy),
+* memory locality (region pools whose sizes drive the real cache and TLB
+  models to characteristic miss rates),
+* dependency-chain geometry (drives ILP and the operand-availability gap
+  of the paper's Figure 6).
+
+See DESIGN.md §3-§4 for the substitution argument.
+"""
+
+from repro.workloads.mix import InstructionMix
+from repro.workloads.profiles import (
+    BranchModel,
+    DependencyModel,
+    MemoryModel,
+    WorkloadProfile,
+    SPEC95_PROFILES,
+)
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.suites import (
+    ALL_WORKLOADS,
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    SMT_PAIRS,
+    workload_profiles,
+)
+
+__all__ = [
+    "InstructionMix",
+    "BranchModel",
+    "MemoryModel",
+    "DependencyModel",
+    "WorkloadProfile",
+    "SPEC95_PROFILES",
+    "SyntheticTraceGenerator",
+    "ALL_WORKLOADS",
+    "INT_WORKLOADS",
+    "FP_WORKLOADS",
+    "SMT_PAIRS",
+    "workload_profiles",
+]

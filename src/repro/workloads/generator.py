@@ -1,0 +1,450 @@
+"""Seeded synthetic instruction-stream generator.
+
+Turns a :class:`~repro.workloads.WorkloadProfile` into an infinite,
+deterministic stream of :class:`~repro.isa.MicroOp`.  All randomness
+comes from one ``random.Random`` seeded from ``(profile name, seed,
+thread)``, so a given workload/seed pair always produces the identical
+stream — required for reproducible experiments and for replay after
+pipeline squashes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.isa import MicroOp, OpClass, ZERO_REG
+from repro.isa.registers import FIRST_FP_REG, NUM_ARCH_REGS
+from repro.workloads.profiles import WorkloadProfile
+
+#: Architectural register reserved as the call/return link register.
+LINK_REG = 7
+
+_LINE_BYTES = 64
+
+
+@dataclass
+class _BranchSite:
+    """One static conditional branch site."""
+
+    pc: int
+    target: int
+    is_loop: bool
+    bias: float
+    trip: int
+    count: int = 0
+
+    def next_outcome(self, rng: random.Random) -> bool:
+        """The ground-truth direction of this site's next execution."""
+        if self.is_loop:
+            self.count += 1
+            if self.count > self.trip:
+                self.count = 0
+                return False
+            return True
+        return rng.random() < self.bias
+
+
+class _RegionWalker:
+    """Generates addresses inside one locality region."""
+
+    def __init__(self, base: int, size_bytes: int, rng: random.Random):
+        self.base = base
+        self.lines = max(1, size_bytes // _LINE_BYTES)
+        self._rng = rng
+
+    def next_address(self) -> int:
+        line = self._rng.randrange(self.lines)
+        word = self._rng.randrange(_LINE_BYTES // 8)
+        return self.base + _LINE_BYTES * line + 8 * word
+
+
+class _PagedWalker:
+    """Page-dwelling walk over a large footprint (the *cold* region).
+
+    Addresses are random lines within the current page; after ``dwell``
+    accesses the walker hops to a new random page.  With a footprint of
+    many pages, TLB misses occur roughly once per hop (``~1/dwell`` of
+    accesses) while cache misses stay high (the footprint far exceeds
+    the L2).
+    """
+
+    def __init__(
+        self, base: int, pages: int, page_bytes: int, dwell: int,
+        rng: random.Random,
+    ):
+        self.base = base
+        self.pages = max(1, pages)
+        self.page_bytes = page_bytes
+        self.dwell = max(1, dwell)
+        self.lines_per_page = max(1, page_bytes // _LINE_BYTES)
+        self._rng = rng
+        self._current_page = 0
+        self._remaining = 0
+
+    def next_address(self) -> int:
+        if self._remaining <= 0:
+            self._current_page = self._rng.randrange(self.pages)
+            self._remaining = self.dwell
+        self._remaining -= 1
+        line = self._rng.randrange(self.lines_per_page)
+        word = self._rng.randrange(_LINE_BYTES // 8)
+        return (
+            self.base
+            + self._current_page * self.page_bytes
+            + line * _LINE_BYTES
+            + 8 * word
+        )
+
+
+class _StreamWalker:
+    """Sequential walker: one compulsory miss per cache line."""
+
+    def __init__(self, base: int, stride: int = 16):
+        self.addr = base
+        self.stride = stride
+
+    def next_address(self) -> int:
+        self.addr += self.stride
+        return self.addr
+
+
+class SyntheticTraceGenerator:
+    """Deterministic synthetic instruction stream for one thread.
+
+    Parameters
+    ----------
+    profile:
+        The workload profile to synthesise.
+    seed:
+        Stream seed; same (profile, seed, thread) -> same stream.
+    thread:
+        Hardware thread identifier; offsets the PC and address spaces so
+        SMT pairs do not trivially share cache lines or predictor entries.
+    page_bytes:
+        Page size assumed for TLB-pressure address generation (should
+        match the simulated TLB's page size).
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 0,
+        thread: int = 0,
+        page_bytes: int = 8192,
+    ):
+        self.profile = profile
+        self.seed = seed
+        self.thread = thread
+        self._rng = random.Random(f"{profile.name}/{seed}/{thread}")
+        self._pc_base = (thread + 1) << 28
+        self._next_pc = self._pc_base
+        self._emitted = 0
+
+        # --- branch sites ---------------------------------------------------
+        br = profile.branches
+        self._sites: List[_BranchSite] = []
+        for i in range(br.num_sites):
+            is_loop = self._rng.random() < br.loop_site_frac
+            bias = self._rng.uniform(br.random_bias_lo, br.random_bias_hi)
+            # half the data-dependent sites are biased not-taken: real
+            # code has both polarities, so "predict taken" is no free
+            # lunch (a trained predictor learns either direction)
+            if self._rng.random() < 0.5:
+                bias = 1.0 - bias
+            trip = max(1, round(self._rng.gauss(br.loop_trip, br.loop_trip / 4)))
+            pc = self._pc_base + 0x100000 + i * 4
+            target = self._pc_base + 0x200000 + i * 4
+            self._sites.append(
+                _BranchSite(pc=pc, target=target, is_loop=is_loop, bias=bias, trip=trip)
+            )
+
+        # --- memory regions --------------------------------------------------
+        mem = profile.memory
+        addr_base = (thread + 1) << 34
+        self._hot = _RegionWalker(addr_base, mem.hot_bytes, self._rng)
+        self._warm = _RegionWalker(addr_base + (1 << 30), mem.warm_bytes, self._rng)
+        self._cold = _PagedWalker(
+            addr_base + (2 << 30), mem.cold_pages, page_bytes,
+            mem.page_dwell, self._rng,
+        )
+        self._stream = _StreamWalker(addr_base + (3 << 30), mem.stream_stride)
+        self._region_cum = self._cumulative(
+            [mem.hot_frac, mem.warm_frac, mem.cold_frac, mem.stream_frac]
+        )
+
+        # --- dependency state -------------------------------------------------
+        deps = profile.deps
+        self._recent_dsts: List[int] = []
+        #: latest architectural destination of each independent strand
+        self._strand_last: List[Optional[int]] = [None] * deps.strands
+        self._globals = list(range(1, 1 + deps.num_globals))
+        self._dst_regs = [
+            r for r in range(8, NUM_ARCH_REGS)
+            if r not in self._globals and r != LINK_REG
+        ]
+        self._dst_cursor = 0
+        self._burst_reg: Optional[int] = None
+        self._burst_left = 0
+        #: ground-truth call stack so RETURN targets match CALL sites
+        self._call_stack: List[int] = []
+        # static indirect-control sites: stable PCs and targets so the
+        # BTB and RAS see realistic, learnable behaviour
+        num_call_sites = 16
+        self._call_sites: List[Tuple[int, int]] = [
+            (
+                self._pc_base + 0x300000 + i * 4,
+                self._pc_base + 0x310000 + i * 64,
+            )
+            for i in range(num_call_sites)
+        ]
+        self._jump_sites: List[Tuple[int, int]] = [
+            (
+                self._pc_base + 0x320000 + i * 4,
+                self._pc_base + 0x330000 + i * 64,
+            )
+            for i in range(num_call_sites)
+        ]
+        self._return_pcs: List[int] = [
+            self._pc_base + 0x340000 + i * 4 for i in range(num_call_sites)
+        ]
+
+        # static load sites: stable PCs so the store-wait predictor can
+        # learn; a fraction of the sites read recently stored data
+        num_load_sites = 128
+        self._load_sites: List[Tuple[int, bool]] = [
+            (
+                self._pc_base + 0x360000 + i * 4,
+                self._rng.random() < profile.memory.alias_site_frac,
+            )
+            for i in range(num_load_sites)
+        ]
+        #: addresses of recently emitted stores (store-to-load aliasing)
+        self._recent_store_addrs: List[int] = []
+
+    # ------------------------------------------------------------------ utils
+
+    @staticmethod
+    def _cumulative(fractions: List[float]) -> List[float]:
+        cum, acc = [], 0.0
+        for f in fractions:
+            acc += f
+            cum.append(acc)
+        cum[-1] = 1.0
+        return cum
+
+    def _advance_pc(self) -> int:
+        pc = self._next_pc
+        self._next_pc += 4
+        # keep the linear region bounded so the I-side footprint stays
+        # modest (hot Spec95 loops live comfortably in a 64 KB L1I)
+        if self._next_pc >= self._pc_base + 0x4000:
+            self._next_pc = self._pc_base
+        return pc
+
+    # ----------------------------------------------------------- register picks
+
+    def _pick_distance_source(self) -> int:
+        """A source register by producer distance (near or far)."""
+        deps = self.profile.deps
+        if not self._recent_dsts:
+            return ZERO_REG
+        if self._rng.random() < deps.far_frac:
+            distance = self._rng.randint(deps.far_lo, deps.far_hi)
+        else:
+            distance = min(
+                1 + int(self._rng.expovariate(1.0 / deps.near_mean)), 10_000
+            )
+        if distance >= len(self._recent_dsts):
+            distance = len(self._recent_dsts)
+        return self._recent_dsts[-distance]
+
+    def _pick_source(self, allow_burst: bool = True, strand: Optional[int] = None) -> int:
+        deps = self.profile.deps
+        if allow_burst and self._burst_left > 0 and self._burst_reg is not None:
+            self._burst_left -= 1
+            return self._burst_reg
+        roll = self._rng.random()
+        if roll < deps.global_frac:
+            return self._rng.choice(self._globals)
+        if roll < deps.global_frac + deps.chain_frac:
+            if strand is not None and self._strand_last[strand] is not None:
+                return self._strand_last[strand]
+            if self._recent_dsts:
+                return self._recent_dsts[-1]
+        return self._pick_distance_source()
+
+    def _pick_dst(self, opclass: OpClass) -> int:
+        """Round-robin destination, respecting the int/fp bank split."""
+        for _ in range(len(self._dst_regs)):
+            reg = self._dst_regs[self._dst_cursor]
+            self._dst_cursor = (self._dst_cursor + 1) % len(self._dst_regs)
+            if opclass in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
+                if reg >= FIRST_FP_REG:
+                    return reg
+            elif reg < FIRST_FP_REG:
+                return reg
+        return self._dst_regs[0]
+
+    def _record_dst(self, reg: int, strand: Optional[int] = None) -> None:
+        if strand is not None:
+            self._strand_last[strand] = reg
+        self._recent_dsts.append(reg)
+        if len(self._recent_dsts) > 4096:
+            del self._recent_dsts[:2048]
+        deps = self.profile.deps
+        # a broadcast value keeps its consumers until the burst drains;
+        # a new burst only starts once the previous one is exhausted
+        if self._burst_left == 0 and self._rng.random() < deps.fanout_burst_frac:
+            self._burst_reg = reg
+            self._burst_left = deps.fanout_burst_len
+
+    # ------------------------------------------------------------- op builders
+
+    def _next_data_address(self) -> int:
+        roll = self._rng.random()
+        if roll <= self._region_cum[0]:
+            return self._hot.next_address()
+        if roll <= self._region_cum[1]:
+            return self._warm.next_address()
+        if roll <= self._region_cum[2]:
+            return self._cold.next_address()
+        return self._stream.next_address()
+
+    def _make_branch(self) -> MicroOp:
+        br = self.profile.branches
+        if self._rng.random() < br.indirect_frac:
+            return self._make_indirect()
+        site = self._rng.choice(self._sites)
+        taken = site.next_outcome(self._rng)
+        return MicroOp(
+            pc=site.pc,
+            opclass=OpClass.BRANCH,
+            srcs=(self._pick_source(allow_burst=False),),
+            taken=taken,
+            target=site.target,
+        )
+
+    def _make_indirect(self) -> MicroOp:
+        """A call, return (matching the call stack) or direct jump."""
+        if self._call_stack and (
+            len(self._call_stack) >= 8 or self._rng.random() < 0.5
+        ):
+            return_target = self._call_stack.pop()
+            return MicroOp(
+                pc=self._rng.choice(self._return_pcs),
+                opclass=OpClass.RETURN,
+                srcs=(LINK_REG,),
+                taken=True,
+                target=return_target,
+            )
+        if self._rng.random() < 0.7:
+            pc, target = self._rng.choice(self._call_sites)
+            self._call_stack.append(pc + 4)
+            return MicroOp(
+                pc=pc,
+                opclass=OpClass.CALL,
+                srcs=(),
+                dst=LINK_REG,
+                taken=True,
+                target=target,
+            )
+        pc, target = self._rng.choice(self._jump_sites)
+        return MicroOp(
+            pc=pc,
+            opclass=OpClass.JUMP,
+            srcs=(),
+            taken=True,
+            target=target,
+        )
+
+    def _make_load(self) -> MicroOp:
+        strand = self._rng.randrange(self.profile.deps.strands)
+        dst = self._pick_dst(OpClass.INT_ALU if self._rng.random() < 0.5 else OpClass.FP_ADD)
+        pc, alias_prone = self._rng.choice(self._load_sites)
+        if alias_prone and self._recent_store_addrs and self._rng.random() < 0.8:
+            address = self._rng.choice(self._recent_store_addrs)
+        else:
+            address = self._next_data_address()
+        op = MicroOp(
+            pc=pc,
+            opclass=OpClass.LOAD,
+            # address base: usually a global/stable pointer so loads can
+            # issue early (real array walks index off long-lived bases)
+            srcs=(self._pick_address_base(strand),),
+            dst=dst,
+            address=address,
+        )
+        self._record_dst(dst, strand)
+        return op
+
+    def _pick_address_base(self, strand: int) -> int:
+        """Source register for a memory address computation."""
+        if self._rng.random() < 0.6:
+            return self._rng.choice(self._globals)
+        return self._pick_source(allow_burst=False, strand=strand)
+
+    def _make_store(self) -> MicroOp:
+        strand = self._rng.randrange(self.profile.deps.strands)
+        address = self._next_data_address()
+        self._recent_store_addrs.append(address)
+        if len(self._recent_store_addrs) > 16:
+            self._recent_store_addrs.pop(0)
+        return MicroOp(
+            pc=self._advance_pc(),
+            opclass=OpClass.STORE,
+            srcs=(
+                self._pick_source(allow_burst=False, strand=strand),
+                self._pick_address_base(strand),
+            ),
+            address=address,
+        )
+
+    def _make_compute(self, opclass: OpClass) -> MicroOp:
+        strand = self._rng.randrange(self.profile.deps.strands)
+        # the first source carries the strand's serial chain; the second
+        # is where broadcast (fan-out burst) values are consumed
+        srcs: Tuple[int, ...] = (
+            self._pick_source(allow_burst=False, strand=strand),
+        )
+        if self._rng.random() < self.profile.deps.two_src_frac:
+            srcs = (srcs[0], self._pick_source(allow_burst=True))
+        dst = self._pick_dst(opclass)
+        op = MicroOp(
+            pc=self._advance_pc(), opclass=opclass, srcs=srcs, dst=dst,
+        )
+        self._record_dst(dst, strand)
+        return op
+
+    # ---------------------------------------------------------------- stream
+
+    def next_op(self) -> MicroOp:
+        """Generate the next micro-op of the stream."""
+        self._emitted += 1
+        # refresh one global register occasionally so globals are not
+        # eternally "completed" operands
+        if self._emitted % 2000 == 0:
+            reg = self._rng.choice(self._globals)
+            return MicroOp(
+                pc=self._advance_pc(), opclass=OpClass.INT_ALU,
+                srcs=(ZERO_REG,), dst=reg,
+            )
+        opclass = self.profile.mix.sample(self._rng)
+        if opclass is OpClass.BRANCH:
+            return self._make_branch()
+        if opclass is OpClass.LOAD:
+            return self._make_load()
+        if opclass is OpClass.STORE:
+            return self._make_store()
+        if opclass in (OpClass.MEM_BARRIER, OpClass.NOP):
+            return MicroOp(pc=self._advance_pc(), opclass=opclass)
+        return self._make_compute(opclass)
+
+    def stream(self) -> Iterator[MicroOp]:
+        """An infinite iterator over the instruction stream."""
+        while True:
+            yield self.next_op()
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return self.stream()

@@ -1,0 +1,65 @@
+"""Instruction-mix model.
+
+An :class:`InstructionMix` maps op classes to occurrence weights and
+supports seeded sampling.  Weights need not sum to one; they are
+normalised on construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.isa import OpClass
+
+
+class InstructionMix:
+    """Normalised categorical distribution over op classes."""
+
+    def __init__(self, weights: Dict[OpClass, float]):
+        if not weights:
+            raise ValueError("instruction mix cannot be empty")
+        total = float(sum(weights.values()))
+        if total <= 0:
+            raise ValueError("instruction mix weights must sum to > 0")
+        for opclass, weight in weights.items():
+            if weight < 0:
+                raise ValueError(f"negative weight for {opclass}: {weight}")
+        self._fractions: Dict[OpClass, float] = {
+            opclass: weight / total for opclass, weight in weights.items()
+        }
+        self._classes: List[OpClass] = list(self._fractions)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for opclass in self._classes:
+            acc += self._fractions[opclass]
+            self._cumulative.append(acc)
+        # guard against floating point drift on the last bucket
+        self._cumulative[-1] = 1.0
+
+    def fraction(self, opclass: OpClass) -> float:
+        """The normalised fraction of ``opclass`` in this mix."""
+        return self._fractions.get(opclass, 0.0)
+
+    @property
+    def fractions(self) -> Dict[OpClass, float]:
+        """A copy of the normalised class fractions."""
+        return dict(self._fractions)
+
+    def sample(self, rng: random.Random) -> OpClass:
+        """Draw one op class using ``rng``."""
+        x = rng.random()
+        for opclass, cum in zip(self._classes, self._cumulative):
+            if x <= cum:
+                return opclass
+        return self._classes[-1]
+
+    def items(self) -> List[Tuple[OpClass, float]]:
+        """The (op class, fraction) pairs of this mix."""
+        return list(self._fractions.items())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{opclass.value}={frac:.3f}" for opclass, frac in self._fractions.items()
+        )
+        return f"InstructionMix({parts})"

@@ -1,0 +1,474 @@
+"""Per-benchmark workload profiles.
+
+Each :class:`WorkloadProfile` bundles the sub-models that the generator
+turns into an instruction stream.  The ten Spec95 stand-ins are
+parameterised from the paper's own benchmark characterisation (§3.1 and
+§6) plus well-known Spec95 behaviour; DESIGN.md §4 documents the mapping.
+
+The knobs are *mechanistic*, not outcome declarations: branch sites with
+these biases are fed to the real predictor, region pools of these sizes
+are walked over the real caches, and the miss rates / mispredict rates
+emerge from the simulation.  ``tests/test_calibration.py`` asserts that
+the emergent rates land in the per-benchmark bands the paper's analysis
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa import OpClass
+from repro.workloads.mix import InstructionMix
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class BranchModel:
+    """Behaviour of the workload's conditional branch sites.
+
+    ``loop_site_frac`` of the branch *sites* are loop-style: taken
+    ``loop_trip`` times, then not-taken once — near-perfectly
+    predictable by two-bit counters apart from the exit.  The remainder
+    are data-dependent sites whose outcomes are Bernoulli with per-site
+    bias drawn uniformly from ``[random_bias_lo, random_bias_hi]`` — a
+    predictor can do no better than the bias.
+    """
+
+    num_sites: int = 256
+    loop_site_frac: float = 0.6
+    loop_trip: int = 16
+    random_bias_lo: float = 0.5
+    random_bias_hi: float = 0.95
+    #: Fraction of control ops that are calls/returns/jumps.
+    indirect_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loop_site_frac <= 1.0:
+            raise ValueError("loop_site_frac must be in [0, 1]")
+        if not 0.0 <= self.random_bias_lo <= self.random_bias_hi <= 1.0:
+            raise ValueError("random bias bounds must satisfy 0<=lo<=hi<=1")
+        if self.loop_trip < 1:
+            raise ValueError("loop_trip must be >= 1")
+
+    @property
+    def expected_mispredict_rate(self) -> float:
+        """First-order estimate of the achievable mispredict rate.
+
+        Loop sites mispredict about once per trip+1 executions; random
+        sites mispredict at ``1 - max(bias, 1-bias)`` on average.  Used
+        by calibration tests as a sanity band, not by the simulator.
+        """
+        loop_miss = 1.0 / (self.loop_trip + 1)
+        mean_bias = (self.random_bias_lo + self.random_bias_hi) / 2.0
+        random_miss = 1.0 - max(mean_bias, 1.0 - mean_bias)
+        return (
+            self.loop_site_frac * loop_miss
+            + (1.0 - self.loop_site_frac) * random_miss
+        )
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Locality structure of the workload's data references.
+
+    Memory references are spread over four kinds of regions; the *real*
+    cache/TLB models then decide hits and misses:
+
+    * ``hot`` — pool smaller than L1: near-100 % L1 hits.
+    * ``warm`` — pool between L1 and L2 sizes: L1 misses that hit in L2
+      (the swim/turb3d load-resolution-loop diet).
+    * ``cold`` — a page-dwelling walk over a footprint larger than L2:
+      misses to main memory; ``page_dwell`` accesses are made within a
+      page before hopping, so TLB pressure is ``~1/page_dwell`` of cold
+      accesses (turb3d hops fast, hydro2d/mgrid dwell long).
+    * ``stream`` — sequential walk: one compulsory miss per line.
+    """
+
+    hot_frac: float = 0.85
+    warm_frac: float = 0.10
+    cold_frac: float = 0.01
+    stream_frac: float = 0.04
+    hot_bytes: int = 16 * KB
+    warm_bytes: int = 512 * KB
+    cold_pages: int = 1024
+    page_dwell: int = 64
+    stream_stride: int = 16
+    #: Fraction of static load sites that read data recently written by
+    #: stores (store-to-load communication): the raw material of the
+    #: memory dependence loop and its reorder traps.
+    alias_site_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = self.hot_frac + self.warm_frac + self.cold_frac + self.stream_frac
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"memory region fractions must sum to 1, got {total}")
+        if self.hot_bytes <= 0 or self.warm_bytes <= 0:
+            raise ValueError("region sizes must be positive")
+        if self.cold_pages < 1 or self.page_dwell < 1:
+            raise ValueError("cold_pages and page_dwell must be >= 1")
+        if self.stream_stride < 1:
+            raise ValueError("stream_stride must be >= 1")
+        if not 0.0 <= self.alias_site_frac <= 1.0:
+            raise ValueError("alias_site_frac must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DependencyModel:
+    """Dependency-chain geometry.
+
+    * ``strands`` — number of independent dependence strands the code
+      interleaves.  Real loop-parallel codes (swim, hydro2d) run many
+      independent iterations concurrently, which is what lets an
+      out-of-order window overlap cache misses; serial codes (apsi)
+      have few strands.  Each instruction joins one strand and its
+      chained source is that strand's latest value.
+    * ``chain_frac`` — probability the first source is the strand's most
+      recent value (serial chaining within the strand; high values give
+      apsi's "long, narrow dependency chains").
+    * ``near_mean`` — mean (geometric) producer distance, in dynamic
+      instructions, of ordinary sources.
+    * ``far_frac`` / ``far_lo`` / ``far_hi`` — probability and uniform
+      distance range of *distant* sources, which defeat the 9-cycle
+      forwarding buffer and create the long tail of Figure 6.
+    * ``two_src_frac`` — probability an instruction has a second source.
+    * ``global_frac`` — probability a source is one of ``num_globals``
+      long-lived registers (stack/global pointers): the paper's
+      *completed* operands, served by the DRA pre-read.
+    * ``fanout_burst_frac`` — probability a newly produced value becomes
+      a short-lived "broadcast" value consumed by the next several
+      instructions; concentrated fan-out saturates the DRA's 2-bit
+      insertion-table counters (apsi's operand-miss mechanism, §5.4).
+    """
+
+    strands: int = 8
+    chain_frac: float = 0.25
+    near_mean: float = 6.0
+    far_frac: float = 0.10
+    far_lo: int = 30
+    far_hi: int = 120
+    two_src_frac: float = 0.55
+    global_frac: float = 0.10
+    num_globals: int = 4
+    fanout_burst_frac: float = 0.02
+    fanout_burst_len: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "chain_frac",
+            "far_frac",
+            "two_src_frac",
+            "global_frac",
+            "fanout_burst_frac",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.near_mean < 1.0:
+            raise ValueError("near_mean must be >= 1")
+        if not 1 <= self.far_lo <= self.far_hi:
+            raise ValueError("far distance range invalid")
+        if self.num_globals < 1:
+            raise ValueError("num_globals must be >= 1")
+        if self.fanout_burst_len < 1:
+            raise ValueError("fanout_burst_len must be >= 1")
+        if self.strands < 1:
+            raise ValueError("strands must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the generator needs to synthesise one benchmark."""
+
+    name: str
+    mix: InstructionMix
+    branches: BranchModel = field(default_factory=BranchModel)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+    deps: DependencyModel = field(default_factory=DependencyModel)
+    description: str = ""
+
+
+def _int_mix(branch: float, load: float, store: float) -> InstructionMix:
+    """An integer-code mix with the given control/memory fractions."""
+    alu = 1.0 - branch - load - store - 0.02
+    return InstructionMix(
+        {
+            OpClass.INT_ALU: alu,
+            OpClass.INT_MUL: 0.02,
+            OpClass.LOAD: load,
+            OpClass.STORE: store,
+            OpClass.BRANCH: branch,
+        }
+    )
+
+
+def _fp_mix(branch: float, load: float, store: float, fp: float) -> InstructionMix:
+    """A floating-point mix: ``fp`` split across FP add/mul/div pipes."""
+    alu = 1.0 - branch - load - store - fp
+    if alu < 0:
+        raise ValueError("fp mix fractions exceed 1.0")
+    return InstructionMix(
+        {
+            OpClass.INT_ALU: alu,
+            OpClass.FP_ADD: fp * 0.46,
+            OpClass.FP_MUL: fp * 0.46,
+            OpClass.FP_DIV: fp * 0.08,
+            OpClass.LOAD: load,
+            OpClass.STORE: store,
+            OpClass.BRANCH: branch,
+        }
+    )
+
+
+#: The ten single-threaded Spec95 stand-ins keyed by name.
+SPEC95_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    SPEC95_PROFILES[profile.name] = profile
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# Integer benchmarks
+# ---------------------------------------------------------------------------
+
+_register(
+    WorkloadProfile(
+        name="compress",
+        description=(
+            "Many branches, poorly predictable; some load misses. The most "
+            "pipeline-length-sensitive integer code in Figure 4."
+        ),
+        mix=_int_mix(branch=0.18, load=0.24, store=0.09),
+        branches=BranchModel(
+            num_sites=64,
+            loop_site_frac=0.55,
+            loop_trip=8,
+            random_bias_lo=0.70,
+            random_bias_hi=0.95,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.84, warm_frac=0.12, cold_frac=0.01, stream_frac=0.03,
+            hot_bytes=24 * KB, warm_bytes=160 * KB,
+        ),
+        deps=DependencyModel(strands=8, chain_frac=0.35, near_mean=5.0, two_src_frac=0.5),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="gcc",
+        description="Branchy, large code footprint, frequent mispredicts and load misses.",
+        mix=_int_mix(branch=0.17, load=0.25, store=0.11),
+        branches=BranchModel(
+            num_sites=512,
+            loop_site_frac=0.50,
+            loop_trip=6,
+            random_bias_lo=0.75,
+            random_bias_hi=0.95,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.85, warm_frac=0.10, cold_frac=0.015, stream_frac=0.035,
+            hot_bytes=32 * KB, warm_bytes=256 * KB,
+        ),
+        deps=DependencyModel(strands=8, chain_frac=0.3, near_mean=5.5, two_src_frac=0.5),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="go",
+        description="The classic hard-to-predict branch workload.",
+        mix=_int_mix(branch=0.16, load=0.23, store=0.08),
+        branches=BranchModel(
+            num_sites=512,
+            loop_site_frac=0.30,
+            loop_trip=5,
+            random_bias_lo=0.60,
+            random_bias_hi=0.85,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.88, warm_frac=0.08, cold_frac=0.01, stream_frac=0.03,
+            hot_bytes=32 * KB, warm_bytes=224 * KB,
+        ),
+        deps=DependencyModel(strands=8, chain_frac=0.3, near_mean=6.0, two_src_frac=0.5),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="m88ksim",
+        description=(
+            "Fewer branches and mispredicts than the other integer codes; "
+            "the least pipeline-sensitive integer benchmark (Figure 4)."
+        ),
+        mix=_int_mix(branch=0.12, load=0.20, store=0.08),
+        branches=BranchModel(
+            num_sites=128,
+            loop_site_frac=0.85,
+            loop_trip=24,
+            random_bias_lo=0.85,
+            random_bias_hi=0.98,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.92, warm_frac=0.04, cold_frac=0.005, stream_frac=0.035,
+            hot_bytes=16 * KB, warm_bytes=128 * KB,
+        ),
+        deps=DependencyModel(strands=10, chain_frac=0.25, near_mean=7.0, two_src_frac=0.5, fanout_burst_frac=0.01, fanout_burst_len=3),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Floating-point benchmarks
+# ---------------------------------------------------------------------------
+
+_register(
+    WorkloadProfile(
+        name="apsi",
+        description=(
+            "Long, narrow dependency chains (low ILP); moderate D$ misses "
+            "but little useless work. With the DRA its concentrated fan-out "
+            "and long producer-consumer distances produce the paper's ~1.5% "
+            "operand miss rate and a net slowdown (Figure 8)."
+        ),
+        mix=_fp_mix(branch=0.07, load=0.26, store=0.10, fp=0.30),
+        branches=BranchModel(
+            num_sites=96,
+            loop_site_frac=0.9,
+            loop_trip=32,
+            random_bias_lo=0.9,
+            random_bias_hi=0.99,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.85, warm_frac=0.10, cold_frac=0.01, stream_frac=0.04,
+            hot_bytes=24 * KB, warm_bytes=256 * KB,
+        ),
+        deps=DependencyModel(
+            strands=2,
+            chain_frac=0.88,
+            near_mean=1.5,
+            far_frac=0.20,
+            far_lo=40,
+            far_hi=200,
+            two_src_frac=0.70,
+            global_frac=0.04,
+            fanout_burst_frac=0.07,
+            fanout_burst_len=64,
+        ),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="hydro2d",
+        description=(
+            "Many loads, high L1 *and* L2 miss rates: dominated by main "
+            "memory latency, hence insensitive to pipeline length (Figure 4)."
+        ),
+        mix=_fp_mix(branch=0.05, load=0.30, store=0.09, fp=0.34),
+        branches=BranchModel(
+            num_sites=64, loop_site_frac=0.92, loop_trip=48,
+            random_bias_lo=0.9, random_bias_hi=0.99,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.55, warm_frac=0.15, cold_frac=0.18, stream_frac=0.12,
+            hot_bytes=16 * KB, warm_bytes=256 * KB,
+            cold_pages=2048, page_dwell=48,
+        ),
+        deps=DependencyModel(strands=24, chain_frac=0.3, near_mean=6.0, two_src_frac=0.6),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="mgrid",
+        description="Like hydro2d: memory-bound stencil code, L2 misses dominate.",
+        mix=_fp_mix(branch=0.03, load=0.33, store=0.07, fp=0.38),
+        branches=BranchModel(
+            num_sites=32, loop_site_frac=0.95, loop_trip=64,
+            random_bias_lo=0.95, random_bias_hi=0.99,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.52, warm_frac=0.16, cold_frac=0.20, stream_frac=0.12,
+            hot_bytes=16 * KB, warm_bytes=256 * KB,
+            cold_pages=4096, page_dwell=48,
+        ),
+        deps=DependencyModel(strands=24, chain_frac=0.28, near_mean=6.5, two_src_frac=0.6),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="su2cor",
+        description=(
+            "Few branch or load mis-speculations, but measurable useless "
+            "work from queueing-delayed branch resolution (§3.1)."
+        ),
+        mix=_fp_mix(branch=0.06, load=0.27, store=0.08, fp=0.36),
+        branches=BranchModel(
+            num_sites=96, loop_site_frac=0.88, loop_trip=40,
+            random_bias_lo=0.88, random_bias_hi=0.98,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.82, warm_frac=0.13, cold_frac=0.02, stream_frac=0.03,
+            hot_bytes=24 * KB, warm_bytes=256 * KB,
+        ),
+        deps=DependencyModel(
+            strands=6, chain_frac=0.45, near_mean=4.0, two_src_frac=0.6,
+            far_frac=0.12,
+        ),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="swim",
+        description=(
+            "Many loads, high L1 miss rate that hits in L2: the archetypal "
+            "load-resolution-loop workload, most sensitive to IQ->EX length "
+            "(Figures 4 and 5)."
+        ),
+        mix=_fp_mix(branch=0.03, load=0.32, store=0.10, fp=0.36),
+        branches=BranchModel(
+            num_sites=32, loop_site_frac=0.96, loop_trip=64,
+            random_bias_lo=0.95, random_bias_hi=0.99,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.705, warm_frac=0.27, cold_frac=0.005, stream_frac=0.02,
+            hot_bytes=16 * KB, warm_bytes=256 * KB, stream_stride=8,
+        ),
+        deps=DependencyModel(strands=24, chain_frac=0.3, near_mean=6.0, two_src_frac=0.6),
+    )
+)
+
+_register(
+    WorkloadProfile(
+        name="turb3d",
+        description=(
+            "Loads with L1 misses hitting in L2, plus a page-hopping cold "
+            "region that produces DTLB misses (front-of-pipe recovery, §3.1)."
+        ),
+        mix=_fp_mix(branch=0.05, load=0.29, store=0.09, fp=0.34),
+        branches=BranchModel(
+            num_sites=64, loop_site_frac=0.92, loop_trip=32,
+            random_bias_lo=0.92, random_bias_hi=0.99,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.738, warm_frac=0.23, cold_frac=0.02, stream_frac=0.012,
+            hot_bytes=16 * KB, warm_bytes=256 * KB,
+            cold_pages=8192, page_dwell=2, stream_stride=8,
+        ),
+        deps=DependencyModel(
+            strands=16,
+            chain_frac=0.35,
+            near_mean=6.0,
+            far_frac=0.30,
+            far_lo=25,
+            far_hi=150,
+            two_src_frac=0.72,
+        ),
+    )
+)

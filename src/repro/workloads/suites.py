@@ -1,0 +1,46 @@
+"""Benchmark suite definitions.
+
+The paper evaluates ten single-threaded Spec95 codes plus three SMT
+pairs.  :func:`workload_profiles` resolves a suite name — single
+benchmark or pair — into the per-thread profile list the simulator
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads.profiles import SPEC95_PROFILES, WorkloadProfile
+
+INT_WORKLOADS: Tuple[str, ...] = ("compress", "gcc", "go", "m88ksim")
+
+FP_WORKLOADS: Tuple[str, ...] = (
+    "apsi", "hydro2d", "mgrid", "su2cor", "swim", "turb3d",
+)
+
+#: SMT pairs, keyed by the paper's names.
+SMT_PAIRS: Dict[str, Tuple[str, str]] = {
+    "m88ksim+compress": ("m88ksim", "compress"),
+    "go+su2cor": ("go", "su2cor"),
+    "apsi+swim": ("apsi", "swim"),
+}
+
+#: Every workload name in the paper's figures, in figure order.
+ALL_WORKLOADS: Tuple[str, ...] = (
+    INT_WORKLOADS + FP_WORKLOADS + tuple(SMT_PAIRS)
+)
+
+
+def workload_profiles(name: str) -> List[WorkloadProfile]:
+    """Resolve a workload name to one profile per hardware thread.
+
+    Single benchmarks return a one-element list; SMT pair names return
+    two profiles.  Raises ``KeyError`` for unknown names.
+    """
+    if name in SPEC95_PROFILES:
+        return [SPEC95_PROFILES[name]]
+    if name in SMT_PAIRS:
+        return [SPEC95_PROFILES[part] for part in SMT_PAIRS[name]]
+    raise KeyError(
+        f"unknown workload {name!r}; known: {', '.join(ALL_WORKLOADS)}"
+    )

@@ -1,0 +1,97 @@
+"""Unit tests for the analysis utilities."""
+
+import pytest
+
+from repro.analysis import (
+    EmpiricalCDF,
+    format_heading,
+    format_table,
+    geometric_mean,
+    percent,
+    render_series,
+    speedup,
+)
+from repro.analysis.metrics import mean
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_speedup_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0]) == pytest.approx(1.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_percent(self):
+        assert percent(0.1534) == "15.3%"
+        assert percent(0.1534, digits=2) == "15.34%"
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestCDF:
+    def test_quantiles(self):
+        cdf = EmpiricalCDF(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 100
+
+    def test_at(self):
+        cdf = EmpiricalCDF([0, 0, 10, 20])
+        assert cdf.at(0) == pytest.approx(0.5)
+        assert cdf.at(10) == pytest.approx(0.75)
+        assert cdf.at(5) == pytest.approx(0.5)
+
+    def test_mean_and_max(self):
+        cdf = EmpiricalCDF([1, 2, 3])
+        assert cdf.mean == pytest.approx(2.0)
+        assert cdf.max == 3
+
+    def test_series(self):
+        cdf = EmpiricalCDF([0, 10])
+        assert cdf.series([0, 10]) == [(0, 0.5), (10, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_quantile_validation(self):
+        cdf = EmpiricalCDF([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_heading(self):
+        text = format_heading("Hi")
+        assert text == "Hi\n=="
+
+    def test_render_series(self):
+        text = render_series([(1.0, 0.5)], label="hdr")
+        assert text.splitlines()[0] == "hdr"
+        assert "0.500" in text

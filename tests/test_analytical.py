@@ -1,0 +1,76 @@
+"""Tests for the §1 analytical loop-cost ledger."""
+
+import pytest
+
+from repro import CoreConfig, simulate
+from repro.loops import attribute_slowdown, build_ledger
+
+
+@pytest.fixture(scope="module")
+def compress_run():
+    return simulate("compress", CoreConfig.base(), instructions=4000,
+                    warmup=60_000, detailed_warmup=600)
+
+
+@pytest.fixture(scope="module")
+def swim_run():
+    return simulate("swim", CoreConfig.base(), instructions=4000,
+                    warmup=60_000, detailed_warmup=600)
+
+
+class TestLedger:
+    def test_entries_cover_active_loops(self, compress_run):
+        ledger = build_ledger(compress_run.config, compress_run.stats)
+        names = {e.loop.name for e in ledger.entries}
+        assert {"branch_resolution", "load_resolution",
+                "memory_dependence", "dtlb_trap"} <= names
+
+    def test_event_math(self, compress_run):
+        ledger = build_ledger(compress_run.config, compress_run.stats)
+        branch = ledger.entry("branch_resolution")
+        assert branch.occurrences == compress_run.stats.cond_branches
+        assert branch.min_cycles_lost == (
+            branch.misspeculations * branch.loop.min_misspeculation_impact
+        )
+        assert 0.0 <= branch.misspeculation_rate <= 1.0
+
+    def test_total_is_sum_of_entries(self, compress_run):
+        ledger = build_ledger(compress_run.config, compress_run.stats)
+        assert ledger.total_min_cycles_lost == sum(
+            e.min_cycles_lost for e in ledger.entries
+        )
+        assert 0.0 <= ledger.predicted_loss_fraction <= 1.0
+
+    def test_unknown_loop_lookup_raises(self, compress_run):
+        ledger = build_ledger(compress_run.config, compress_run.stats)
+        with pytest.raises(KeyError):
+            ledger.entry("warp_drive")
+
+    def test_render(self, compress_run):
+        ledger = build_ledger(compress_run.config, compress_run.stats)
+        text = ledger.render()
+        assert "branch_resolution" in text
+        assert "cycle-equivalents" in text
+
+
+class TestAttribution:
+    def test_compress_is_branch_bound(self, compress_run):
+        """§3.1: compress's losses come from the branch loop."""
+        top = attribute_slowdown(compress_run.config, compress_run.stats,
+                                 top=1)
+        assert top == ["branch_resolution"]
+
+    def test_swim_is_load_bound(self, swim_run):
+        """§3.1: swim's losses come from the load loop."""
+        top = attribute_slowdown(swim_run.config, swim_run.stats, top=1)
+        assert top == ["load_resolution"]
+
+    def test_operand_loop_appears_only_with_dra(self, swim_run):
+        dra_run = simulate("apsi", CoreConfig.with_dra(5), instructions=3000,
+                           warmup=40_000, detailed_warmup=400)
+        dra_names = {e.loop.name
+                     for e in build_ledger(dra_run.config, dra_run.stats).entries}
+        base_names = {e.loop.name
+                      for e in build_ledger(swim_run.config, swim_run.stats).entries}
+        assert "operand_resolution" in dra_names
+        assert "operand_resolution" not in base_names

@@ -1,0 +1,120 @@
+"""Unit tests for the cache model."""
+
+import pytest
+
+from repro.memory import Cache, CacheConfig
+
+
+def small_cache(**overrides) -> Cache:
+    params = dict(
+        name="test", size_bytes=1024, line_bytes=64, assoc=2, hit_latency=2,
+    )
+    params.update(overrides)
+    return Cache(CacheConfig(**params))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(name="c", size_bytes=64 * 1024, line_bytes=64, assoc=2)
+        assert config.num_sets == 512
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="c", size_bytes=192, line_bytes=64, assoc=1)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="c", size_bytes=1000, line_bytes=64, assoc=2)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="c", size_bytes=1024, line_bytes=64, assoc=2,
+                        hit_latency=0)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1004)
+        assert cache.access(0x103F)
+
+    def test_adjacent_lines_are_distinct(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert not cache.access(0x1040)
+
+    def test_lru_eviction_within_set(self):
+        cache = small_cache()  # 8 sets, 2 ways
+        set_stride = 8 * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride  # same set index 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)      # a is now MRU
+        cache.access(c)      # evicts b (LRU)
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_probe_does_not_mutate(self):
+        cache = small_cache()
+        cache.access(0x0)
+        hits_before = cache.stats.hits
+        cache.probe(0x0)
+        assert cache.stats.hits == hits_before
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = small_cache()
+        for i in range(100):
+            cache.access(i * 64)
+        assert cache.occupancy <= 16  # 1024/64 lines
+
+    def test_invalidate_all(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.invalidate_all()
+        assert not cache.probe(0x0)
+        assert cache.occupancy == 0
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_miss_rate_idle_is_zero(self):
+        assert small_cache().stats.miss_rate == 0.0
+
+
+class TestBankConflicts:
+    def test_same_bank_same_cycle_conflicts(self):
+        cache = small_cache(banks=4)
+        addr_a = 0 * 64
+        addr_b = 4 * 64  # same bank (line-interleaved, 4 banks)
+        assert not cache.had_bank_conflict(addr_a, cycle=10)
+        cache.access(addr_a, cycle=10)
+        assert cache.had_bank_conflict(addr_b, cycle=10)
+        cache.access(addr_b, cycle=10)
+        assert cache.stats.bank_conflicts == 1
+
+    def test_different_banks_no_conflict(self):
+        cache = small_cache(banks=4)
+        cache.access(0 * 64, cycle=10)
+        assert not cache.had_bank_conflict(1 * 64, cycle=10)
+
+    def test_same_bank_different_cycles_no_conflict(self):
+        cache = small_cache(banks=4)
+        cache.access(0, cycle=10)
+        assert not cache.had_bank_conflict(4 * 64, cycle=11)
+
+    def test_single_bank_cache_never_reports_conflicts(self):
+        cache = small_cache(banks=1)
+        cache.access(0, cycle=5)
+        assert not cache.had_bank_conflict(64, cycle=5)

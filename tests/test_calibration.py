@@ -1,0 +1,102 @@
+"""Calibration bands for the Spec95 stand-ins.
+
+These tests pin the *emergent* characteristics (mispredict rates, cache
+miss rates, relative IPC ordering) that DESIGN.md §4 assigns to each
+workload and that the paper's analysis leans on.  Bands are wide — the
+point is the ordering and the regime, not exact numbers.
+"""
+
+import pytest
+
+from repro import CoreConfig, simulate
+
+RUN = dict(instructions=5_000, warmup=120_000, detailed_warmup=800)
+
+
+@pytest.fixture(scope="module")
+def results():
+    names = (
+        "compress", "gcc", "go", "m88ksim",
+        "apsi", "hydro2d", "mgrid", "su2cor", "swim", "turb3d",
+    )
+    return {name: simulate(name, CoreConfig.base(), **RUN) for name in names}
+
+
+class TestBranchBehaviour:
+    def test_integer_codes_mispredict_often(self, results):
+        for name in ("compress", "gcc", "go"):
+            assert results[name].stats.branch_mispredict_rate > 0.08, name
+
+    def test_go_is_the_worst(self, results):
+        go = results["go"].stats.branch_mispredict_rate
+        for name in ("compress", "gcc", "m88ksim"):
+            assert go >= results[name].stats.branch_mispredict_rate
+
+    def test_m88ksim_predicts_well(self, results):
+        assert results["m88ksim"].stats.branch_mispredict_rate < 0.08
+
+    def test_fp_codes_predict_well(self, results):
+        for name in ("swim", "mgrid", "hydro2d", "turb3d", "apsi", "su2cor"):
+            assert results[name].stats.branch_mispredict_rate < 0.08, name
+
+
+class TestMemoryBehaviour:
+    def test_swim_and_turb3d_miss_l1_hit_l2(self, results):
+        for name in ("swim", "turb3d"):
+            stats = results[name].stats
+            assert stats.load_l1_miss_rate > 0.12, name
+            # most L1 misses must be served by the L2
+            assert stats.load_l2_misses < 0.35 * stats.load_l1_misses, name
+
+    def test_hydro2d_and_mgrid_go_to_memory(self, results):
+        for name in ("hydro2d", "mgrid"):
+            stats = results[name].stats
+            assert stats.load_l1_miss_rate > 0.2, name
+            assert stats.load_l2_misses > 0.3 * stats.load_l1_misses, name
+
+    def test_m88ksim_mostly_hits(self, results):
+        assert results["m88ksim"].stats.load_l1_miss_rate < 0.10
+
+    def test_turb3d_has_the_dtlb_misses(self, results):
+        turb = results["turb3d"].stats.dtlb_misses
+        for name in ("swim", "compress", "m88ksim", "apsi"):
+            assert turb > 3 * results[name].stats.dtlb_misses, name
+
+
+class TestPerformanceRegimes:
+    def test_m88ksim_is_fastest_integer_code(self, results):
+        m88 = results["m88ksim"].ipc
+        for name in ("compress", "gcc", "go"):
+            assert m88 > results[name].ipc
+
+    def test_go_is_slowest(self, results):
+        go = results["go"].ipc
+        for name, result in results.items():
+            if name != "go":
+                assert go <= result.ipc + 0.05, name
+
+    def test_apsi_has_low_ilp_for_an_fp_code(self, results):
+        # apsi's 2-strand serial chains cap it well below the
+        # loop-parallel FP codes (turb3d sits low for a different
+        # reason: DTLB traps and memory traffic, not ILP)
+        apsi = results["apsi"].ipc
+        assert apsi < 0.75 * results["swim"].ipc
+        assert apsi < results["su2cor"].ipc
+
+    def test_all_ipcs_in_sane_range(self, results):
+        for name, result in results.items():
+            assert 0.3 < result.ipc < 6.0, name
+
+
+class TestUselessWork:
+    def test_load_loop_workloads_reissue(self, results):
+        for name in ("swim", "turb3d", "hydro2d", "mgrid"):
+            stats = results[name].stats
+            assert stats.total_reissues > 100, name
+
+    def test_apsi_does_less_useless_work_than_swim(self, results):
+        # §3.1: apsi's useless work per mis-speculation is small
+        assert (
+            results["apsi"].stats.total_reissues
+            < results["swim"].stats.total_reissues
+        )

@@ -1,0 +1,58 @@
+"""Tests for the centralized register cache comparator (§4)."""
+
+from repro.core import CoreConfig, DRAConfig
+from repro.core.dra import DRAEngine
+from repro.core.pipeline import Simulator
+from repro.core.stats import CoreStats
+from repro.workloads import SPEC95_PROFILES
+
+
+class TestCentralizedEngine:
+    def test_single_structure_shared_by_all_clusters(self):
+        engine = DRAEngine(
+            DRAConfig(centralized=True), num_pregs=64, num_clusters=8,
+            stats=CoreStats(),
+        )
+        assert len(engine.crcs) == 1
+        assert len(engine.tables) == 1
+        engine.try_preread(5, cluster=7)
+        assert engine.tables[0].count(5) == 1
+        engine.on_writeback(5)
+        assert engine.crc_lookup(5, cluster=3)
+
+    def test_distributed_keeps_per_cluster_structures(self):
+        engine = DRAEngine(
+            DRAConfig(), num_pregs=64, num_clusters=8, stats=CoreStats(),
+        )
+        assert len(engine.crcs) == 8
+        engine.try_preread(5, cluster=7)
+        engine.on_writeback(5)
+        assert engine.crc_lookup(5, cluster=7)
+        assert not engine.crc_lookup(5, cluster=3)
+
+
+class TestCentralizedInPipeline:
+    def _run(self, dra: DRAConfig):
+        config = CoreConfig.with_dra(5, dra=dra)
+        sim = Simulator(config, [SPEC95_PROFILES["swim"]], seed=0)
+        sim.functional_warmup(40_000)
+        sim.run(4000)
+        return sim
+
+    def test_central_cache_misses_more(self):
+        """§4: one small register cache has a high miss rate."""
+        distributed = self._run(DRAConfig())
+        central = self._run(DRAConfig(centralized=True))
+        assert (
+            central.stats.operand_miss_rate
+            > 1.5 * distributed.stats.operand_miss_rate
+        )
+
+    def test_register_file_class_capacity_recovers(self):
+        """§4: 'comparable size to a register file' is what it takes."""
+        central16 = self._run(DRAConfig(centralized=True))
+        central128 = self._run(DRAConfig(centralized=True, crc_entries=128))
+        assert (
+            central128.stats.operand_miss_rate
+            < 0.5 * central16.stats.operand_miss_rate
+        )

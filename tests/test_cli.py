@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "swim"])
+        assert args.workload == "swim"
+        assert not args.dra
+        assert args.rf == 3
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom3"])
+
+    def test_fig_commands_registered(self):
+        for name in ("fig4", "fig5", "fig6", "fig8", "fig9"):
+            args = build_parser().parse_args([name])
+            assert args.figure == name
+
+    def test_rf_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "swim", "--rf", "4"])
+
+
+class TestCommands:
+    def test_workloads_lists_everything(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "swim" in out
+        assert "go+su2cor" in out
+
+    def test_loops_inventory(self, capsys):
+        assert main(["loops", "--dra", "--rf", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "operand_resolution" in out
+        assert "21264_branch_resolution" in out
+
+    def test_run_executes_simulation(self, capsys):
+        assert main(["run", "m88ksim", "--instructions", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out
+        assert "m88ksim" in out
+
+    def test_run_with_dra_prints_operand_sources(self, capsys):
+        assert main([
+            "run", "m88ksim", "--dra", "--rf", "5", "--instructions", "600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "operand preread" in out
+
+    def test_run_with_recovery_policy(self, capsys):
+        assert main([
+            "run", "m88ksim", "--recovery", "stall", "--instructions", "400",
+        ]) == 0
+
+    def test_fig6_renders(self, capsys):
+        assert main(["fig6", "--instructions", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_fig4_with_subset(self, capsys):
+        assert main([
+            "fig4", "--workloads", "m88ksim", "--instructions", "800",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "m88ksim" in out

@@ -1,0 +1,91 @@
+"""Unit tests for core configuration and its loop arithmetic."""
+
+import pytest
+
+from repro.core import CoreConfig, DRAConfig, LoadRecovery
+
+
+class TestFactories:
+    def test_base_matches_paper_for_rf3(self):
+        config = CoreConfig.base(rf_read_latency=3)
+        assert config.dec_iq == 5
+        assert config.iq_ex == 5
+        assert config.dra is None
+        # the paper's 8-cycle load resolution loop delay (§2.2.2)
+        assert config.load_loop_delay == 8
+
+    @pytest.mark.parametrize("rf,expected_iq_ex", [(3, 5), (5, 7), (7, 9)])
+    def test_base_iq_ex_tracks_rf_latency(self, rf, expected_iq_ex):
+        assert CoreConfig.base(rf).iq_ex == expected_iq_ex
+
+    @pytest.mark.parametrize("rf,expected_dec_iq", [(3, 5), (5, 7), (7, 9)])
+    def test_dra_pipe_shapes(self, rf, expected_dec_iq):
+        config = CoreConfig.with_dra(rf)
+        assert config.iq_ex == 3
+        assert config.dec_iq == expected_dec_iq
+        assert config.dra is not None
+
+    def test_dra_shortens_pipeline_by_two(self):
+        # the §6 observation: each DRA configuration is 2 cycles shorter
+        for rf in (3, 5, 7):
+            base = CoreConfig.base(rf)
+            dra = CoreConfig.with_dra(rf)
+            assert base.decode_to_execute - dra.decode_to_execute == 2
+
+    def test_with_pipe(self):
+        config = CoreConfig.base().with_pipe(9, 3)
+        assert (config.dec_iq, config.iq_ex) == (9, 3)
+
+    def test_label(self):
+        assert CoreConfig.base().label == "Base:5_5"
+        assert CoreConfig.with_dra(5).label == "DRA:7_3"
+
+    def test_base_min_pipeline_is_about_twenty_cycles(self):
+        assert 18 <= CoreConfig.base().min_int_pipeline <= 22
+
+
+class TestValidation:
+    def test_negative_widths_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(fetch_width=0)
+
+    def test_issue_width_must_match_clusters(self):
+        with pytest.raises(ValueError):
+            CoreConfig(issue_width=4, num_clusters=8)
+
+    def test_rename_offset_inside_deciq(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rename_offset=6, dec_iq=5)
+
+    def test_preg_coverage(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_pregs=100)
+
+    def test_unknown_slotting(self):
+        with pytest.raises(ValueError):
+            CoreConfig(slotting="magic")
+
+    def test_unknown_fetch_policy(self):
+        with pytest.raises(ValueError):
+            CoreConfig(fetch_policy="greedy")
+
+    def test_replace_keeps_validation(self):
+        config = CoreConfig.base()
+        with pytest.raises(ValueError):
+            config.replace(iq_entries=0)
+
+    def test_frozen_and_hashable(self):
+        a = CoreConfig.base()
+        b = CoreConfig.base()
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_load_recovery_values(self):
+        assert LoadRecovery("reissue") is LoadRecovery.REISSUE
+        assert LoadRecovery("refetch") is LoadRecovery.REFETCH
+        assert LoadRecovery("stall") is LoadRecovery.STALL
+
+    def test_dra_config_defaults_match_paper(self):
+        dra = DRAConfig()
+        assert dra.crc_entries == 16
+        assert dra.counter_max == 3

@@ -1,0 +1,118 @@
+"""Integration tests for the DRA running inside the pipeline."""
+
+import pytest
+
+from repro.core import CoreConfig, DRAConfig, OperandSource
+from repro.core.pipeline import Simulator
+from repro.core.stats import ReissueCause
+from repro.workloads import SPEC95_PROFILES
+
+
+def run_dra(workload="swim", rf=5, instructions=3000, dra=None, **config_over):
+    config = CoreConfig.with_dra(rf, **({"dra": dra} if dra else {}))
+    if config_over:
+        config = config.replace(**config_over)
+    sim = Simulator(config, [SPEC95_PROFILES[workload]], seed=0)
+    sim.functional_warmup(40_000)
+    sim.run(instructions)
+    return sim
+
+
+class TestOperandAccounting:
+    def test_sources_partition_all_reads(self):
+        sim = run_dra()
+        stats = sim.stats
+        total = stats.total_operand_reads
+        assert total > 0
+        assert stats.operand_reads[OperandSource.REGFILE] == 0
+        parts = (
+            stats.operand_reads[OperandSource.PREREAD]
+            + stats.operand_reads[OperandSource.FORWARD]
+            + stats.operand_reads[OperandSource.CRC]
+            + stats.operand_reads[OperandSource.MISS]
+        )
+        assert parts == total
+
+    def test_forwarding_buffer_dominates(self):
+        """Paper Figure 9: more than half of operands come from the FB."""
+        sim = run_dra()
+        fractions = sim.stats.operand_source_fractions()
+        assert fractions[OperandSource.FORWARD] > 0.5
+
+    def test_preread_and_crc_both_used(self):
+        sim = run_dra()
+        fractions = sim.stats.operand_source_fractions()
+        assert fractions[OperandSource.PREREAD] > 0.05
+        assert fractions[OperandSource.CRC] > 0.02
+
+    def test_miss_rate_is_small(self):
+        """Most workloads are well under 1 % (paper §6)."""
+        sim = run_dra("swim")
+        assert sim.stats.operand_miss_rate < 0.01
+
+    def test_base_machine_reads_register_file(self):
+        config = CoreConfig.base()
+        sim = Simulator(config, [SPEC95_PROFILES["swim"]], seed=0)
+        sim.functional_warmup(20_000)
+        sim.run(1500)
+        stats = sim.stats
+        assert stats.operand_reads[OperandSource.REGFILE] > 0
+        assert stats.operand_reads[OperandSource.PREREAD] == 0
+        assert stats.operand_reads[OperandSource.CRC] == 0
+
+
+class TestOperandResolutionLoop:
+    def test_misses_trigger_reissues(self):
+        sim = run_dra("apsi", instructions=4000)
+        stats = sim.stats
+        assert stats.operand_miss_events > 0
+        assert stats.reissues[ReissueCause.OPERAND_MISS] > 0
+
+    def test_missed_instructions_eventually_complete(self):
+        sim = run_dra("apsi", instructions=3000)
+        assert sim.stats.retired >= 3000
+
+    def test_miss_stalls_front_end(self):
+        sim = run_dra("apsi", instructions=4000)
+        if sim.stats.operand_miss_events:
+            assert sim.stats.frontend_dra_stall_cycles > 0
+
+    def test_apsi_misses_more_than_swim(self):
+        """The paper's outlier: apsi's ~1.5 % vs well-under-1 % elsewhere."""
+        apsi = run_dra("apsi", instructions=6000)
+        swim = run_dra("swim", instructions=6000)
+        assert apsi.stats.operand_miss_rate > 1.5 * swim.stats.operand_miss_rate
+        assert apsi.stats.operand_miss_rate > 0.01
+
+
+class TestCRCBehaviourInPipeline:
+    def test_tiny_crc_misses_more(self):
+        small = run_dra("apsi", dra=DRAConfig(crc_entries=1), instructions=2500)
+        normal = run_dra("apsi", dra=DRAConfig(crc_entries=16), instructions=2500)
+        assert small.stats.operand_miss_rate > normal.stats.operand_miss_rate
+
+    def test_crc_invalidated_on_reallocation(self):
+        sim = run_dra("swim", instructions=2500)
+        assert sim.stats.crc_invalidations > 0
+
+    def test_shadow_decrement_raises_miss_rate(self):
+        plain = run_dra("swim", instructions=2500)
+        shadow = run_dra(
+            "swim", dra=DRAConfig(shadow_fb_decrement=True), instructions=2500
+        )
+        assert shadow.stats.operand_miss_rate >= plain.stats.operand_miss_rate
+
+
+class TestDRAPerformance:
+    def test_dra_beats_base_on_load_loop_workload(self):
+        """The headline result (Figure 8) for a clear winner."""
+        base = Simulator(CoreConfig.base(7), [SPEC95_PROFILES["compress"]], seed=0)
+        base.functional_warmup(40_000)
+        base.run(4000)
+        dra = run_dra("compress", rf=7, instructions=4000)
+        assert dra.stats.ipc > base.stats.ipc
+
+    def test_rpft_initialised_for_architectural_state(self):
+        sim = Simulator(CoreConfig.with_dra(), [SPEC95_PROFILES["swim"]], seed=0)
+        for preg in sim.threads[0].rename_map.map:
+            assert sim.dra.rpft.is_completed(preg)

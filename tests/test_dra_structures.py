@@ -1,0 +1,189 @@
+"""Unit tests for the DRA hardware structures (§5)."""
+
+import pytest
+
+from repro.core.config import DRAConfig
+from repro.core.dra import (
+    ClusterRegisterCache,
+    DRAEngine,
+    InsertionTable,
+    RegisterPreReadFilteringTable,
+)
+from repro.core.stats import CoreStats
+
+
+def make_engine(**dra_overrides) -> DRAEngine:
+    return DRAEngine(
+        DRAConfig(**dra_overrides), num_pregs=64, num_clusters=4,
+        stats=CoreStats(),
+    )
+
+
+class TestRPFT:
+    def test_set_on_writeback_cleared_on_allocate(self):
+        rpft = RegisterPreReadFilteringTable(8)
+        assert not rpft.is_completed(3)
+        rpft.on_writeback(3)
+        assert rpft.is_completed(3)
+        rpft.on_allocate(3)
+        assert not rpft.is_completed(3)
+
+
+class TestInsertionTable:
+    def test_increment_saturates_at_counter_max(self):
+        stats = CoreStats()
+        table = InsertionTable(8, counter_max=3, stats=stats)
+        for _ in range(5):
+            table.increment(2)
+        assert table.count(2) == 3
+        assert stats.insertion_saturations == 2
+
+    def test_decrement_floors_at_zero(self):
+        table = InsertionTable(8, counter_max=3, stats=CoreStats())
+        table.decrement(2)
+        assert table.count(2) == 0
+        table.increment(2)
+        table.decrement(2)
+        table.decrement(2)
+        assert table.count(2) == 0
+
+    def test_clear(self):
+        table = InsertionTable(8, counter_max=3, stats=CoreStats())
+        table.increment(2)
+        table.clear(2)
+        assert table.count(2) == 0
+
+
+class TestCRC:
+    def test_fifo_eviction(self):
+        stats = CoreStats()
+        crc = ClusterRegisterCache(entries=2, stats=stats)
+        crc.insert(1)
+        crc.insert(2)
+        crc.insert(3)  # evicts 1 (oldest)
+        assert not crc.contains(1)
+        assert crc.contains(2)
+        assert crc.contains(3)
+        assert stats.crc_evictions == 1
+
+    def test_lookup_does_not_refresh_fifo_order(self):
+        # replacement is strictly FIFO (§5.1), not LRU
+        crc = ClusterRegisterCache(entries=2, stats=CoreStats())
+        crc.insert(1)
+        crc.insert(2)
+        crc.contains(1)   # a read must NOT protect entry 1
+        crc.insert(3)     # still evicts 1
+        assert not crc.contains(1)
+
+    def test_duplicate_insert_is_noop(self):
+        stats = CoreStats()
+        crc = ClusterRegisterCache(entries=2, stats=stats)
+        crc.insert(1)
+        crc.insert(1)
+        assert len(crc) == 1
+        assert stats.crc_insertions == 1
+
+    def test_invalidate_stale_entry(self):
+        stats = CoreStats()
+        crc = ClusterRegisterCache(entries=4, stats=stats)
+        crc.insert(1)
+        crc.invalidate(1)
+        assert not crc.contains(1)
+        assert stats.crc_invalidations == 1
+
+    def test_invalidate_missing_entry_is_noop(self):
+        stats = CoreStats()
+        crc = ClusterRegisterCache(entries=4, stats=stats)
+        crc.invalidate(9)
+        assert stats.crc_invalidations == 0
+
+
+class TestDRAEngine:
+    def test_preread_succeeds_for_completed_operand(self):
+        engine = make_engine()
+        engine.rpft.on_writeback(5)
+        assert engine.try_preread(5, cluster=0)
+        assert engine.tables[0].count(5) == 0
+
+    def test_failed_preread_routes_to_consumer_cluster_table(self):
+        engine = make_engine()
+        assert not engine.try_preread(5, cluster=2)
+        assert engine.tables[2].count(5) == 1
+        assert engine.tables[0].count(5) == 0
+
+    def test_writeback_inserts_into_clusters_with_consumers(self):
+        engine = make_engine()
+        engine.try_preread(5, cluster=1)
+        engine.try_preread(5, cluster=3)
+        engine.on_writeback(5)
+        assert not engine.crcs[0].contains(5)
+        assert engine.crcs[1].contains(5)
+        assert engine.crcs[3].contains(5)
+        assert engine.tables[1].count(5) == 0
+        assert engine.rpft.is_completed(5)
+
+    def test_forwarding_read_decrements_consumer_count(self):
+        engine = make_engine()
+        engine.try_preread(5, cluster=1)
+        engine.on_forward_read(5, cluster=1)
+        engine.on_writeback(5)
+        # the only consumer was served by the forwarding buffer: the
+        # value is filtered out of the CRC (§5.3)
+        assert not engine.crcs[1].contains(5)
+
+    def test_saturation_miss_mechanism(self):
+        """The §5.4 scenario: >3 consumers, 3 forwarding hits, straggler
+        misses because the count went to zero before writeback."""
+        engine = make_engine()
+        for _ in range(4):               # 4 consumers, counter caps at 3
+            engine.try_preread(5, cluster=0)
+        for _ in range(3):               # 3 of them hit the fwd buffer
+            engine.on_forward_read(5, cluster=0)
+        engine.on_writeback(5)           # count==0: no insertion
+        assert not engine.crc_lookup(5, cluster=0)
+
+    def test_allocation_clears_everything(self):
+        engine = make_engine()
+        engine.try_preread(5, cluster=1)
+        engine.on_writeback(5)
+        engine.on_allocate(5)
+        assert not engine.rpft.is_completed(5)
+        assert engine.tables[1].count(5) == 0
+        assert not engine.crcs[1].contains(5)
+
+    def test_oracle_crc_prefers_evicting_exhausted_entries(self):
+        engine = make_engine(oracle_crc=True, crc_entries=2)
+        # two cached values, one consumer each
+        engine.try_preread(5, cluster=0)
+        engine.on_writeback(5)
+        engine.try_preread(6, cluster=0)
+        engine.on_writeback(6)
+        # value 5's only consumer reads it: entry 5 is exhausted
+        assert engine.crc_lookup(5, cluster=0)
+        # a third value arrives: the oracle evicts 5 (done), keeps 6
+        engine.try_preread(7, cluster=0)
+        engine.on_writeback(7)
+        assert engine.crc_lookup(6, cluster=0)
+        assert engine.crc_lookup(7, cluster=0)
+        assert not engine.crc_lookup(5, cluster=0)
+
+    def test_fifo_crc_ignores_consumer_exhaustion(self):
+        engine = make_engine(crc_entries=2)
+        engine.try_preread(5, cluster=0)
+        engine.on_writeback(5)
+        engine.try_preread(6, cluster=0)
+        engine.on_writeback(6)
+        engine.crc_lookup(6, cluster=0)  # 6 exhausted, but FIFO ignores it
+        engine.try_preread(7, cluster=0)
+        engine.on_writeback(7)           # strict FIFO evicts 5 (oldest)
+        assert not engine.crc_lookup(5, cluster=0)
+        assert engine.crc_lookup(6, cluster=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DRAConfig(crc_entries=0)
+        with pytest.raises(ValueError):
+            DRAConfig(counter_bits=0)
+        with pytest.raises(ValueError):
+            DRAConfig(payload_transit=-1)
+        assert DRAConfig(counter_bits=2).counter_max == 3

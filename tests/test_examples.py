@@ -1,0 +1,40 @@
+"""Smoke tests for the runnable examples."""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_usage_docstring(path):
+    text = path.read_text()
+    assert '"""' in text
+    assert "Usage" in text or "usage" in text
+
+
+def test_quickstart_runs_end_to_end(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "m88ksim"])
+    runpy.run_path(
+        str(EXAMPLES[0].parent / "quickstart.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "DRA speedup over base" in out
+    assert "IPC" in out

@@ -1,0 +1,157 @@
+"""Tests for the experiment drivers (small, fast settings)."""
+
+import pytest
+
+from repro.core import CoreConfig, OperandSource
+from repro.experiments import (
+    ExperimentSettings,
+    render_loop_inventory,
+    run_config,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure8,
+    run_figure9,
+    run_iq_size_ablation,
+    run_memdep_ablation,
+    run_recovery_ablation,
+    run_wake_lead_ablation,
+)
+
+TINY = ExperimentSettings(instructions=1200, warmup=15_000, detailed_warmup=300)
+WORKLOADS = ("m88ksim", "swim")
+
+
+class TestRunner:
+    def test_run_config_caches(self):
+        config = CoreConfig.base()
+        a = run_config("m88ksim", config, TINY)
+        b = run_config("m88ksim", config, TINY)
+        assert a is b
+
+    def test_cache_key_distinguishes_configs(self):
+        a = run_config("m88ksim", CoreConfig.base(), TINY)
+        b = run_config("m88ksim", CoreConfig.base().with_pipe(3, 3), TINY)
+        assert a is not b
+
+    def test_seed_averaging(self):
+        settings = ExperimentSettings(
+            instructions=600, warmup=5_000, detailed_warmup=100, seeds=(0, 1)
+        )
+        point = run_config("m88ksim", CoreConfig.base(), settings)
+        assert len(point.results) == 2
+        ipcs = [r.ipc for r in point.results]
+        assert point.ipc == pytest.approx(sum(ipcs) / 2)
+
+    def test_settings_presets(self):
+        assert ExperimentSettings.quick().instructions < \
+            ExperimentSettings.full().instructions
+
+
+class TestFigure4:
+    def test_shapes_and_reference_point(self):
+        result = run_figure4(TINY, workloads=WORKLOADS)
+        for workload in WORKLOADS:
+            values = result.rows[workload]
+            assert len(values) == 4
+            assert values[0] == pytest.approx(1.0)
+
+    def test_longer_pipes_lose_performance(self):
+        result = run_figure4(TINY, workloads=("compress",))
+        assert result.loss_at_longest("compress") > 0.05
+
+    def test_render_mentions_workloads(self):
+        result = run_figure4(TINY, workloads=("m88ksim",))
+        assert "m88ksim" in result.render()
+
+
+class TestFigure5:
+    def test_reference_point_is_unity(self):
+        result = run_figure5(TINY, workloads=("swim",))
+        assert result.rows["swim"][0] == pytest.approx(1.0)
+
+    def test_shorter_iq_ex_does_not_hurt(self):
+        result = run_figure5(TINY, workloads=("swim",))
+        assert result.gain_at_best("swim") > -0.02
+
+    def test_render(self):
+        result = run_figure5(TINY, workloads=("swim",))
+        assert "9_3" in result.render()
+
+
+class TestFigure6:
+    def test_cdf_properties(self):
+        result = run_figure6(TINY)
+        assert 0.0 < result.covered_by_forwarding < 1.0
+        assert 0.0 <= result.beyond_25_cycles < 0.6
+        assert "Figure 6" in result.render()
+
+    def test_long_tail_exists(self):
+        result = run_figure6(TINY)
+        assert result.cdf.max > 25
+
+
+class TestFigure8:
+    def test_speedup_table_shape(self):
+        result = run_figure8(TINY, workloads=("compress",), rf_latencies=(3, 7))
+        assert len(result.rows["compress"]) == 2
+        assert result.speedup("compress", 7) == result.rows["compress"][1]
+
+    def test_dra_helps_compress(self):
+        result = run_figure8(TINY, workloads=("compress",), rf_latencies=(7,))
+        assert result.speedup("compress", 7) > 1.0
+
+    def test_best_gain(self):
+        result = run_figure8(TINY, workloads=("compress",), rf_latencies=(7,))
+        assert result.best_gain(7) == result.speedup("compress", 7) - 1.0
+
+
+class TestFigure9:
+    def test_fractions_sum_to_one(self):
+        result = run_figure9(TINY, workloads=("swim",))
+        total = sum(result.rows["swim"].values())
+        assert total == pytest.approx(1.0)
+
+    def test_forwarding_dominates(self):
+        result = run_figure9(TINY, workloads=("swim",))
+        assert result.fraction("swim", OperandSource.FORWARD) > 0.5
+
+    def test_render(self):
+        result = run_figure9(TINY, workloads=("swim",))
+        assert "fwd buffer" in result.render()
+
+
+class TestAblations:
+    def test_recovery_policies_ordered(self):
+        result = run_recovery_ablation(TINY, workloads=("swim",))
+        assert result.relative("reissue", "swim") == pytest.approx(1.0)
+        assert result.relative("refetch", "swim") < 1.0
+        assert result.relative("stall", "swim") < 1.0
+
+    def test_wake_lead_variants_run(self):
+        result = run_wake_lead_ablation(TINY, workloads=("swim",),
+                                        leads=(0, 12))
+        assert set(result.variants) == {"lead-0", "lead-12"}
+        assert result.relative("lead-0", "swim") == pytest.approx(1.0)
+
+    def test_iq_size_small_queue_throttles(self):
+        result = run_iq_size_ablation(TINY, workloads=("swim",),
+                                      sizes=(16, 128))
+        assert result.relative("iq-16", "swim") < \
+            result.relative("iq-128", "swim")
+
+    def test_memdep_variants_run(self):
+        result = run_memdep_ablation(TINY, workloads=("swim",))
+        assert result.aux["conservative"]["swim"] == 0
+        assert result.relative("predict", "swim") == pytest.approx(1.0)
+
+
+class TestLoopInventory:
+    def test_contains_paper_numbers(self):
+        text = render_loop_inventory()
+        assert "load_resolution" in text
+        assert "21264_branch_resolution" in text
+
+    def test_dra_adds_operand_loop(self):
+        text = render_loop_inventory(CoreConfig.with_dra())
+        assert "operand_resolution" in text

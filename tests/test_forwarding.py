@@ -1,0 +1,66 @@
+"""Unit tests for the forwarding buffer."""
+
+import pytest
+
+from repro.core.forwarding import ForwardingBuffer
+from repro.core.regfile import PhysRegFile
+
+
+@pytest.fixture
+def setup():
+    rf = PhysRegFile(16)
+    fb = ForwardingBuffer(rf, depth=9)
+    return rf, fb
+
+
+class TestForwardingBuffer:
+    def test_holds_within_window(self, setup):
+        rf, fb = setup
+        rf.avail[3] = 100
+        assert fb.holds(3, 100)
+        assert fb.holds(3, 105)
+        assert fb.holds(3, 109)
+
+    def test_expires_after_window(self, setup):
+        rf, fb = setup
+        rf.avail[3] = 100
+        assert not fb.holds(3, 110)
+
+    def test_not_available_before_production(self, setup):
+        rf, fb = setup
+        rf.avail[3] = 100
+        assert not fb.holds(3, 99)
+
+    def test_unproduced_value_never_forwards(self, setup):
+        rf, fb = setup
+        assert not fb.holds(3, 1000)
+
+    def test_writeback_time_is_avail_plus_depth(self, setup):
+        rf, fb = setup
+        assert fb.writeback_time(100) == 109
+
+    def test_in_register_file(self, setup):
+        rf, fb = setup
+        rf.writeback[4] = 50
+        assert fb.in_register_file(4, 50)
+        assert not fb.in_register_file(4, 49)
+        assert not fb.in_register_file(5, 1000)
+
+    def test_hit_statistics(self, setup):
+        rf, fb = setup
+        rf.avail[3] = 100
+        fb.holds(3, 100)
+        fb.holds(3, 500)
+        assert fb.lookups == 2
+        assert fb.hits == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ForwardingBuffer(PhysRegFile(4), depth=0)
+
+    def test_window_is_inclusive_of_writeback_cycle(self, setup):
+        # the FB covers exactly until the value lands in the RF, so
+        # there is never a gap between forwarding and RF/CRC coverage
+        rf, fb = setup
+        rf.avail[2] = 20
+        assert fb.holds(2, fb.writeback_time(20))

@@ -1,0 +1,83 @@
+"""Unit tests for the generator's internal walkers and site models."""
+
+import random
+
+import pytest
+
+from repro.workloads.generator import (
+    _BranchSite,
+    _PagedWalker,
+    _RegionWalker,
+    _StreamWalker,
+)
+
+
+class TestRegionWalker:
+    def test_addresses_stay_in_pool(self):
+        rng = random.Random(0)
+        walker = _RegionWalker(base=1 << 20, size_bytes=4096, rng=rng)
+        for _ in range(500):
+            addr = walker.next_address()
+            assert (1 << 20) <= addr < (1 << 20) + 4096
+
+    def test_addresses_are_word_aligned(self):
+        # word-granular addresses: load/store conflict checks are 8-byte
+        walker = _RegionWalker(0, 4096, random.Random(1))
+        for _ in range(100):
+            assert walker.next_address() % 8 == 0
+
+    def test_small_pool_is_one_line(self):
+        walker = _RegionWalker(0, 32, random.Random(2))
+        lines = {walker.next_address() // 64 for _ in range(50)}
+        assert lines == {0}
+
+
+class TestPagedWalker:
+    def test_dwell_controls_page_changes(self):
+        walker = _PagedWalker(base=0, pages=1000, page_bytes=8192,
+                              dwell=10, rng=random.Random(3))
+        pages = [walker.next_address() // 8192 for _ in range(100)]
+        changes = sum(a != b for a, b in zip(pages, pages[1:]))
+        # ~1 page hop per 10 accesses
+        assert changes <= 15
+
+    def test_dwell_one_hops_every_access(self):
+        walker = _PagedWalker(base=0, pages=10_000, page_bytes=8192,
+                              dwell=1, rng=random.Random(4))
+        pages = {walker.next_address() // 8192 for _ in range(200)}
+        assert len(pages) > 150
+
+    def test_addresses_span_the_footprint(self):
+        walker = _PagedWalker(base=0, pages=64, page_bytes=8192,
+                              dwell=1, rng=random.Random(5))
+        pages = {walker.next_address() // 8192 for _ in range(2000)}
+        assert len(pages) > 48
+        assert max(pages) < 64
+
+
+class TestStreamWalker:
+    def test_monotone_addresses(self):
+        walker = _StreamWalker(base=100, stride=16)
+        addrs = [walker.next_address() for _ in range(10)]
+        assert addrs == sorted(addrs)
+        assert addrs[1] - addrs[0] == 16
+
+    def test_one_line_per_stride_group(self):
+        walker = _StreamWalker(base=0, stride=16)
+        lines = [walker.next_address() // 64 for _ in range(64)]
+        # 4 accesses per 64B line at stride 16
+        assert len(set(lines)) == pytest.approx(16, abs=1)
+
+
+class TestBranchSite:
+    def test_loop_site_pattern(self):
+        site = _BranchSite(pc=0, target=64, is_loop=True, bias=0.5, trip=3)
+        rng = random.Random(0)
+        outcomes = [site.next_outcome(rng) for _ in range(8)]
+        assert outcomes == [True, True, True, False, True, True, True, False]
+
+    def test_random_site_respects_bias(self):
+        site = _BranchSite(pc=0, target=64, is_loop=False, bias=0.9, trip=1)
+        rng = random.Random(0)
+        taken = sum(site.next_outcome(rng) for _ in range(2000))
+        assert 0.85 < taken / 2000 < 0.95

@@ -1,0 +1,203 @@
+"""Unit tests for the clustered issue queue."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.iq import IssueQueue
+from repro.core.regfile import PhysRegFile
+from repro.isa import DynInst, MicroOp, OpClass
+
+
+def make_iq(iq_entries=16, iq_ex=5, num_clusters=4):
+    config = CoreConfig(
+        iq_entries=iq_entries,
+        iq_ex=iq_ex,
+        num_clusters=num_clusters,
+        issue_width=num_clusters,
+    )
+    rf = PhysRegFile(config.num_pregs)
+    return IssueQueue(config, rf), rf
+
+
+def make_inst(cluster=0, src_pregs=(), dst_preg=None):
+    op = MicroOp(pc=0x100, opclass=OpClass.INT_ALU, srcs=(), dst=1)
+    inst = DynInst(op=op, thread=0)
+    inst.cluster = cluster
+    inst.src_pregs = list(src_pregs)
+    inst.dst_preg = dst_preg
+    return inst
+
+
+class TestCapacity:
+    def test_insert_tracks_count(self):
+        iq, _ = make_iq()
+        iq.insert(make_inst(), cycle=0)
+        assert iq.count == 1
+        assert iq.has_space(15)
+        assert not iq.has_space(16)
+
+    def test_overflow_raises(self):
+        iq, _ = make_iq(iq_entries=1)
+        iq.insert(make_inst(), cycle=0)
+        with pytest.raises(RuntimeError):
+            iq.insert(make_inst(), cycle=0)
+
+
+class TestSelect:
+    def test_no_sources_is_ready(self):
+        iq, _ = make_iq()
+        inst = make_inst()
+        iq.insert(inst, cycle=0)
+        issued = iq.select(cycle=0)
+        assert issued == [inst]
+        assert inst.issue_count == 1
+        assert inst.issue_cycle == 0
+
+    def test_one_per_cluster_per_cycle(self):
+        iq, _ = make_iq(num_clusters=4)
+        same_cluster = [make_inst(cluster=1) for _ in range(3)]
+        for inst in same_cluster:
+            iq.insert(inst, cycle=0)
+        assert len(iq.select(cycle=0)) == 1
+        assert len(iq.select(cycle=1)) == 1
+        assert len(iq.select(cycle=2)) == 1
+
+    def test_parallel_clusters_issue_together(self):
+        iq, _ = make_iq(num_clusters=4)
+        for cluster in range(4):
+            iq.insert(make_inst(cluster=cluster), cycle=0)
+        assert len(iq.select(cycle=0)) == 4
+
+    def test_oldest_ready_first(self):
+        iq, rf = make_iq()
+        older = make_inst(cluster=0)
+        younger = make_inst(cluster=0)
+        iq.insert(older, cycle=0)
+        iq.insert(younger, cycle=0)
+        assert iq.select(cycle=0) == [older]
+
+    def test_waits_for_speculated_availability(self):
+        iq, rf = make_iq(iq_ex=5)
+        inst = make_inst(src_pregs=[7])
+        iq.insert(inst, cycle=0)
+        rf.spec_avail[7] = 12  # operand at execute-entry time 12
+        assert iq.select(cycle=0) == []          # 0 + 5 < 12
+        assert iq.select(cycle=6) == []          # 6 + 5 < 12
+        assert iq.select(cycle=7) == [inst]      # 7 + 5 >= 12
+
+    def test_unpublished_source_blocks(self):
+        iq, rf = make_iq()
+        inst = make_inst(src_pregs=[7])
+        iq.insert(inst, cycle=0)
+        assert rf.spec_avail[7] is None
+        assert iq.select(cycle=100) == []
+
+    def test_min_reissue_gate(self):
+        iq, _ = make_iq()
+        inst = make_inst()
+        inst.min_reissue_cycle = 10
+        iq.insert(inst, cycle=0)
+        assert iq.select(cycle=9) == []
+        assert iq.select(cycle=10) == [inst]
+
+
+class TestReissueLifecycle:
+    def test_reissued_entry_returns_by_age(self):
+        iq, _ = make_iq()
+        first = make_inst(cluster=0)
+        second = make_inst(cluster=0)
+        iq.insert(first, cycle=0)
+        iq.insert(second, cycle=0)
+        assert iq.select(cycle=0) == [first]
+        assert iq.select(cycle=1) == [second]
+        # both issued; first mis-speculates and returns to the pool
+        iq.mark_reissue(first)
+        assert iq.select(cycle=2) == [first]
+        assert first.issue_count == 2
+
+    def test_entry_retained_until_release(self):
+        iq, _ = make_iq()
+        inst = make_inst()
+        iq.insert(inst, cycle=0)
+        iq.select(cycle=0)
+        assert iq.count == 1          # issued but still occupying (§2.2.2)
+        assert iq.issued_waiting == 1
+        iq.release(inst)
+        assert iq.count == 0
+        assert iq.issued_waiting == 0
+
+    def test_remove_squashed_unissued(self):
+        iq, _ = make_iq()
+        inst = make_inst()
+        iq.insert(inst, cycle=0)
+        iq.remove_squashed(inst)
+        assert iq.count == 0
+        assert iq.select(cycle=1) == []
+
+    def test_remove_squashed_issued(self):
+        iq, _ = make_iq()
+        inst = make_inst()
+        iq.insert(inst, cycle=0)
+        iq.select(cycle=0)
+        iq.remove_squashed(inst)
+        assert iq.count == 0
+        assert iq.issued_waiting == 0
+
+    def test_cluster_backlog(self):
+        iq, _ = make_iq()
+        iq.insert(make_inst(cluster=2), cycle=0)
+        iq.insert(make_inst(cluster=2), cycle=0)
+        assert iq.cluster_backlog(2) == 2
+        assert iq.cluster_backlog(0) == 0
+
+
+class TestReadPorts:
+    def _port_limited_iq(self, ports):
+        config = CoreConfig(
+            iq_entries=16, iq_ex=5, num_clusters=4, issue_width=4,
+            rf_read_ports=ports,
+        )
+        rf = PhysRegFile(config.num_pregs)
+        return IssueQueue(config, rf), rf
+
+    def test_ports_cap_issue_bandwidth(self):
+        iq, rf = self._port_limited_iq(ports=2)
+        for preg in (1, 2, 3, 4):
+            rf.make_ready(preg, 0)
+        for cluster in range(4):
+            inst = make_inst(cluster=cluster, src_pregs=[1, 2])
+            iq.insert(inst, cycle=0)
+        # 2 ports / 2 operands each: only one instruction issues
+        assert len(iq.select(cycle=0)) == 1
+        assert iq.port_stalls == 3
+
+    def test_zero_source_instructions_need_no_ports(self):
+        iq, _ = self._port_limited_iq(ports=1)
+        for cluster in range(4):
+            iq.insert(make_inst(cluster=cluster), cycle=0)
+        assert len(iq.select(cycle=0)) == 4
+
+    def test_full_ports_never_stall(self):
+        iq, rf = self._port_limited_iq(ports=16)
+        for preg in (1, 2):
+            rf.make_ready(preg, 0)
+        for cluster in range(4):
+            iq.insert(make_inst(cluster=cluster, src_pregs=[1, 2]), cycle=0)
+        assert len(iq.select(cycle=0)) == 4
+        assert iq.port_stalls == 0
+
+    def test_dra_issue_path_ignores_rf_ports(self):
+        from repro.core.config import DRAConfig
+
+        config = CoreConfig(
+            iq_entries=16, iq_ex=3, num_clusters=4, issue_width=4,
+            rf_read_ports=1, dra=DRAConfig(),
+        )
+        rf = PhysRegFile(config.num_pregs)
+        iq = IssueQueue(config, rf)
+        for preg in (1, 2):
+            rf.make_ready(preg, 0)
+        for cluster in range(4):
+            inst = make_inst(cluster=cluster, src_pregs=[1, 2])
+            iq.insert(inst, cycle=0)
+        assert len(iq.select(cycle=0)) == 4

@@ -1,0 +1,131 @@
+"""Unit tests for the micro-op ISA model."""
+
+import pytest
+
+from repro.isa import (
+    DEFAULT_LATENCIES,
+    ArchRegs,
+    DynInst,
+    MicroOp,
+    NUM_ARCH_REGS,
+    OpClass,
+    ZERO_REG,
+)
+
+
+class TestOpClass:
+    def test_memory_classes(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+
+    def test_control_classes(self):
+        for opclass in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN):
+            assert opclass.is_control
+        assert not OpClass.LOAD.is_control
+
+    def test_only_conditional_branch_needs_direction_prediction(self):
+        assert OpClass.BRANCH.is_conditional
+        assert not OpClass.JUMP.is_conditional
+        assert not OpClass.RETURN.is_conditional
+
+    def test_register_writers(self):
+        assert OpClass.INT_ALU.writes_register
+        assert OpClass.LOAD.writes_register
+        assert OpClass.CALL.writes_register  # link register
+        for opclass in (OpClass.STORE, OpClass.BRANCH, OpClass.JUMP,
+                        OpClass.RETURN, OpClass.NOP, OpClass.MEM_BARRIER):
+            assert not opclass.writes_register
+
+    def test_every_class_has_a_latency(self):
+        for opclass in OpClass:
+            assert DEFAULT_LATENCIES[opclass] >= 1
+
+    def test_int_alu_is_single_cycle(self):
+        # required for the tight ALU forwarding loop of Figure 2
+        assert DEFAULT_LATENCIES[OpClass.INT_ALU] == 1
+
+
+class TestArchRegs:
+    def test_layout(self):
+        assert ArchRegs.TOTAL == NUM_ARCH_REGS == 64
+        assert ArchRegs.is_int(0) and ArchRegs.is_int(31)
+        assert ArchRegs.is_fp(32) and ArchRegs.is_fp(63)
+        assert not ArchRegs.is_fp(31)
+        assert not ArchRegs.is_valid(64)
+        assert not ArchRegs.is_valid(-1)
+
+    def test_reg_constructors(self):
+        assert ArchRegs.int_reg(5) == 5
+        assert ArchRegs.fp_reg(0) == 32
+        with pytest.raises(ValueError):
+            ArchRegs.int_reg(32)
+        with pytest.raises(ValueError):
+            ArchRegs.fp_reg(-1)
+
+
+class TestMicroOp:
+    def test_basic_alu(self):
+        op = MicroOp(pc=0x1000, opclass=OpClass.INT_ALU, srcs=(1, 2), dst=3)
+        assert op.exec_latency == 1
+        assert op.real_srcs == (1, 2)
+
+    def test_zero_reg_sources_are_not_dependences(self):
+        op = MicroOp(pc=0x1000, opclass=OpClass.INT_ALU, srcs=(ZERO_REG, 2), dst=3)
+        assert op.real_srcs == (2,)
+
+    def test_too_many_sources_rejected(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0, opclass=OpClass.INT_ALU, srcs=(1, 2, 3), dst=4)
+
+    def test_store_cannot_have_destination(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0, opclass=OpClass.STORE, srcs=(1, 2), dst=3, address=64)
+
+    def test_memory_op_requires_address(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0, opclass=OpClass.LOAD, srcs=(1,), dst=2)
+
+    def test_frozen(self):
+        op = MicroOp(pc=0, opclass=OpClass.NOP)
+        with pytest.raises(AttributeError):
+            op.pc = 4
+
+
+class TestDynInst:
+    def _inst(self, **kwargs):
+        op = MicroOp(pc=0x20, opclass=OpClass.INT_ALU, srcs=(1,), dst=2)
+        return DynInst(op=op, thread=0, **kwargs)
+
+    def test_uids_are_unique_and_monotone(self):
+        a, b = self._inst(), self._inst()
+        assert a.uid != b.uid
+        assert b.uid > a.uid
+
+    def test_equality_is_identity_by_uid(self):
+        a, b = self._inst(), self._inst()
+        assert a == a
+        assert a != b
+        assert len({a, b, a}) == 2
+
+    def test_load_detection(self):
+        load = DynInst(
+            op=MicroOp(pc=0, opclass=OpClass.LOAD, srcs=(1,), dst=2, address=64),
+            thread=0,
+        )
+        assert load.is_load
+        assert not self._inst().is_load
+
+    def test_describe_mentions_uid_and_thread(self):
+        inst = self._inst()
+        text = inst.describe()
+        assert f"#{inst.uid}" in text
+        assert "t0" in text
+
+    def test_initial_timestamps_unset(self):
+        inst = self._inst()
+        assert inst.fetch_cycle == -1
+        assert inst.issue_cycle == -1
+        assert inst.issue_count == 0
+        assert not inst.executed
+        assert not inst.squashed

@@ -1,0 +1,186 @@
+"""Tests for memory dependence speculation (the memory dependence loop)."""
+
+import pytest
+
+from repro.core import CoreConfig
+from repro.core.memdep import (
+    MemDepConfig,
+    MemDepPolicy,
+    StoreQueue,
+    StoreWaitPredictor,
+)
+from repro.core.pipeline import Simulator
+from repro.isa import DynInst, MicroOp, OpClass
+from repro.loops import loops_for_config
+from repro.workloads import SPEC95_PROFILES
+from repro.workloads.mix import InstructionMix
+from repro.workloads.profiles import (
+    DependencyModel,
+    MemoryModel,
+    WorkloadProfile,
+)
+
+KB = 1024
+
+
+def make_store(uid_source=[0]) -> DynInst:
+    op = MicroOp(pc=0x100, opclass=OpClass.STORE, srcs=(1, 2), address=0x40)
+    return DynInst(op=op, thread=0)
+
+
+class TestStoreWaitPredictor:
+    def test_trains_and_predicts(self):
+        predictor = StoreWaitPredictor(entries=64)
+        assert not predictor.predict_wait(0x400)
+        predictor.train(0x400)
+        assert predictor.predict_wait(0x400)
+        assert predictor.trains == 1
+
+    def test_periodic_clear(self):
+        predictor = StoreWaitPredictor(entries=64, clear_interval=100)
+        predictor.train(0x400)
+        predictor.tick(50)
+        assert predictor.predict_wait(0x400)
+        predictor.tick(150)
+        assert not predictor.predict_wait(0x400)
+        assert predictor.clears >= 1
+
+    def test_word_indexing(self):
+        predictor = StoreWaitPredictor(entries=1024)
+        predictor.train(0x400)
+        assert not predictor.predict_wait(0x404)
+
+
+class TestStoreQueue:
+    def test_capacity(self):
+        queue = StoreQueue(entries=2)
+        queue.add(make_store())
+        assert not queue.full
+        queue.add(make_store())
+        assert queue.full
+        with pytest.raises(RuntimeError):
+            queue.add(make_store())
+
+    def test_oldest_unexecuted(self):
+        queue = StoreQueue()
+        a, b = make_store(), make_store()
+        queue.add(a)
+        queue.add(b)
+        assert queue.oldest_unexecuted_uid() == a.uid
+        a.executed = True
+        assert queue.oldest_unexecuted_uid() == b.uid
+        b.executed = True
+        assert queue.oldest_unexecuted_uid() is None
+
+    def test_has_older_unexecuted(self):
+        queue = StoreQueue()
+        a = make_store()
+        queue.add(a)
+        assert queue.has_older_unexecuted(a.uid + 10)
+        assert not queue.has_older_unexecuted(a.uid)
+        a.executed = True
+        assert not queue.has_older_unexecuted(a.uid + 10)
+
+    def test_drop_squashed(self):
+        queue = StoreQueue()
+        a, b = make_store(), make_store()
+        queue.add(a)
+        queue.add(b)
+        a.squashed = True
+        queue.drop_squashed()
+        assert len(queue) == 1
+        assert queue.oldest_unexecuted_uid() == b.uid
+
+    def test_remove_missing_is_noop(self):
+        queue = StoreQueue()
+        queue.remove(make_store())
+        assert len(queue) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemDepConfig(store_queue_entries=0)
+        with pytest.raises(ValueError):
+            MemDepConfig(predictor_entries=100)
+        with pytest.raises(ValueError):
+            MemDepConfig(clear_interval=0)
+
+
+def aliasing_profile() -> WorkloadProfile:
+    """Heavy store-to-load communication: many reorder hazards."""
+    return WorkloadProfile(
+        name="aliasy",
+        mix=InstructionMix(
+            {OpClass.INT_ALU: 0.5, OpClass.LOAD: 0.3, OpClass.STORE: 0.2}
+        ),
+        memory=MemoryModel(
+            hot_frac=1.0, warm_frac=0.0, cold_frac=0.0, stream_frac=0.0,
+            hot_bytes=32 * KB, alias_site_frac=0.4,
+        ),
+        deps=DependencyModel(
+            strands=16, chain_frac=0.1, near_mean=20.0, far_frac=0.0,
+            two_src_frac=0.3, global_frac=0.2, fanout_burst_frac=0.0,
+        ),
+    )
+
+
+def run(policy: MemDepPolicy, instructions=3000):
+    config = CoreConfig.base().replace(
+        memdep=MemDepConfig(policy=policy)
+    )
+    sim = Simulator(config, [aliasing_profile()], seed=0)
+    sim.run(instructions)
+    return sim
+
+
+class TestMemDepInPipeline:
+    def test_naive_policy_traps(self):
+        sim = run(MemDepPolicy.NAIVE)
+        assert sim.stats.memdep_traps > 0
+        assert sim.stats.retired >= 3000
+
+    def test_conservative_never_traps(self):
+        sim = run(MemDepPolicy.CONSERVATIVE)
+        assert sim.stats.memdep_traps == 0
+        assert sim.stats.store_wait_loads > 100
+
+    def test_predictor_reduces_traps_below_naive(self):
+        naive = run(MemDepPolicy.NAIVE)
+        predict = run(MemDepPolicy.PREDICT)
+        assert predict.stats.memdep_traps <= naive.stats.memdep_traps
+        assert predict.stats.store_wait_loads > 0
+
+    def test_predict_beats_conservative(self):
+        predict = run(MemDepPolicy.PREDICT)
+        conservative = run(MemDepPolicy.CONSERVATIVE)
+        assert predict.stats.ipc > conservative.stats.ipc
+
+    def test_disabled_memdep_never_traps(self):
+        config = CoreConfig.base().replace(memdep=None)
+        sim = Simulator(config, [aliasing_profile()], seed=0)
+        sim.run(2000)
+        assert sim.stats.memdep_traps == 0
+        assert sim.stats.store_wait_loads == 0
+
+    def test_traps_squash_and_replay(self):
+        sim = run(MemDepPolicy.NAIVE)
+        if sim.stats.memdep_traps:
+            assert sim.stats.squashed_instructions > 0
+
+    def test_loop_inventory_includes_memdep(self):
+        config = CoreConfig.base()
+        loops = {l.name: l for l in loops_for_config(config)}
+        assert "memory_dependence" in loops
+        # recovery at fetch: recovery time covers the front of the pipe
+        assert loops["memory_dependence"].recovery_time == (
+            config.fetch_depth + config.dec_iq
+        )
+        disabled = {l.name for l in loops_for_config(config.replace(memdep=None))}
+        assert "memory_dependence" not in disabled
+
+    def test_store_queue_pressure_stalls_rename(self):
+        config = CoreConfig.base().replace(
+            memdep=MemDepConfig(store_queue_entries=4)
+        )
+        sim = Simulator(config, [aliasing_profile()], seed=0)
+        sim.run(2000)
+        assert sim.stats.store_queue_full_stalls > 0

@@ -1,0 +1,275 @@
+"""Integration tests for the cycle-level pipeline."""
+
+import pytest
+
+from repro.core import CoreConfig, LoadRecovery
+from repro.core.pipeline import Simulator
+from repro.core.stats import ReissueCause
+from repro.isa import OpClass
+from repro.workloads import SPEC95_PROFILES, workload_profiles
+from repro.workloads.mix import InstructionMix
+from repro.workloads.profiles import (
+    BranchModel,
+    DependencyModel,
+    MemoryModel,
+    WorkloadProfile,
+)
+
+KB = 1024
+
+
+def quiet_profile(**overrides) -> WorkloadProfile:
+    """A hazard-free workload: no branches, all loads hit, high ILP."""
+    params = dict(
+        name="quiet",
+        mix=InstructionMix({OpClass.INT_ALU: 0.8, OpClass.LOAD: 0.2}),
+        branches=BranchModel(num_sites=8, loop_site_frac=1.0, loop_trip=1000),
+        memory=MemoryModel(
+            hot_frac=1.0, warm_frac=0.0, cold_frac=0.0, stream_frac=0.0,
+            hot_bytes=8 * KB,
+        ),
+        deps=DependencyModel(
+            strands=16, chain_frac=0.1, near_mean=20.0, far_frac=0.0,
+            two_src_frac=0.3, global_frac=0.2, fanout_burst_frac=0.0,
+        ),
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def missy_profile() -> WorkloadProfile:
+    """A load-heavy workload with a realistic (~20-25 %) L1 miss rate.
+
+    Speculating that loads hit only pays when most of them do (§2.2.2:
+    "most programs have a high load hit rate"), so the recovery-policy
+    comparison needs hit-dominated traffic with load-fed chains.
+    """
+    return quiet_profile(
+        name="missy",
+        mix=InstructionMix({OpClass.INT_ALU: 0.6, OpClass.LOAD: 0.4}),
+        memory=MemoryModel(
+            hot_frac=0.75, warm_frac=0.25, cold_frac=0.0, stream_frac=0.0,
+            hot_bytes=8 * KB, warm_bytes=256 * KB,
+        ),
+        deps=DependencyModel(
+            strands=8, chain_frac=0.5, near_mean=5.0, far_frac=0.0,
+            two_src_frac=0.5, global_frac=0.1, fanout_burst_frac=0.0,
+        ),
+    )
+
+
+def unbanked_config() -> CoreConfig:
+    """Base machine with a single-banked L1D (no bank-conflict hazard)."""
+    from repro.memory import CacheConfig, HierarchyConfig
+
+    hierarchy = HierarchyConfig(
+        l1d=CacheConfig(name="L1D", size_bytes=64 * KB, line_bytes=64,
+                        assoc=2, hit_latency=3, banks=1)
+    )
+    return CoreConfig.base().replace(hierarchy=hierarchy)
+
+
+def run(profile, config=None, instructions=2000, warmup=0, functional=20_000):
+    sim = Simulator(config or CoreConfig.base(), [profile], seed=0)
+    if functional:
+        sim.functional_warmup(functional)
+    sim.run(instructions, warmup=warmup)
+    return sim
+
+
+class TestBasicExecution:
+    def test_retires_requested_instructions(self):
+        sim = run(quiet_profile(), instructions=1500)
+        assert sim.stats.retired >= 1500
+
+    def test_quiet_workload_reaches_high_ipc(self):
+        sim = run(quiet_profile(), instructions=4000)
+        assert sim.stats.ipc > 2.5
+
+    def test_no_reissues_without_hazards(self):
+        sim = run(quiet_profile(), unbanked_config(), instructions=2000)
+        assert sim.stats.total_reissues == 0
+
+    def test_retirement_is_in_program_order(self):
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        order = []
+        original = sim._retire
+
+        def spy(cycle):
+            before = len(sim.threads[0].rob)
+            head_uids = [i.uid for i in list(sim.threads[0].rob)[:8]]
+            original(cycle)
+            after = len(sim.threads[0].rob)
+            order.extend(head_uids[: before - after])
+
+        sim._retire = spy
+        sim.run(1000)
+        assert order == sorted(order)
+
+    def test_determinism(self):
+        a = run(quiet_profile(), instructions=1500)
+        b = run(quiet_profile(), instructions=1500)
+        assert a.stats.cycles == b.stats.cycles
+        assert a.stats.retired == b.stats.retired
+
+    def test_pipeline_fill_latency(self):
+        """The first instruction cannot retire before the minimum pipe."""
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        sim.run(8)
+        assert sim.stats.cycles >= sim.config.min_int_pipeline
+
+    def test_physical_registers_conserved(self):
+        sim = run(quiet_profile(), instructions=2000)
+        live_maps = sum(len(t.rename_map.map) for t in sim.threads)
+        inflight_dsts = sum(
+            1 for t in sim.threads for i in t.rob if i.dst_preg is not None
+        )
+        assert sim.regfile.free_count == (
+            sim.config.num_pregs - live_maps - inflight_dsts
+        )
+
+    def test_run_validates_instruction_count(self):
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_functional_warmup_must_precede_run(self):
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        sim.run(100)
+        with pytest.raises(RuntimeError):
+            sim.functional_warmup(100)
+
+    def test_max_cycles_caps_run(self):
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        sim.run(100_000, max_cycles=200)
+        assert sim.cycle == 200
+
+
+class TestLoadResolutionLoop:
+    def test_misses_cause_reissues(self):
+        sim = run(missy_profile(), instructions=3000)
+        assert sim.stats.load_misspeculations > 10
+        assert sim.stats.reissues[ReissueCause.LOAD_MISS] > 0
+
+    def test_reissue_beats_stall_and_refetch(self):
+        """§2.2.2: speculation with reissue wins; re-fetch is worst.
+
+        Memory-dependence speculation is disabled so the policies are
+        compared on the load resolution loop alone."""
+        ipcs = {}
+        for policy in LoadRecovery:
+            config = CoreConfig.base().replace(
+                load_recovery=policy, memdep=None
+            )
+            sim = run(missy_profile(), config, instructions=3000)
+            ipcs[policy] = sim.stats.ipc
+        assert ipcs[LoadRecovery.REISSUE] > ipcs[LoadRecovery.REFETCH]
+        assert ipcs[LoadRecovery.REISSUE] > ipcs[LoadRecovery.STALL]
+
+    def test_stall_policy_never_misspeculates(self):
+        config = CoreConfig.base().replace(load_recovery=LoadRecovery.STALL)
+        sim = run(missy_profile(), config, instructions=3000)
+        assert sim.stats.reissues[ReissueCause.LOAD_MISS] == 0
+        assert sim.stats.reissues[ReissueCause.DEPENDENT_INVALID] == 0
+
+    def test_refetch_squashes_instructions(self):
+        config = CoreConfig.base().replace(load_recovery=LoadRecovery.REFETCH)
+        sim = run(missy_profile(), config, instructions=3000)
+        assert sim.stats.load_refetch_flushes > 0
+        assert sim.stats.squashed_instructions > 0
+
+    def test_refetch_still_retires_correctly(self):
+        config = CoreConfig.base().replace(load_recovery=LoadRecovery.REFETCH)
+        sim = run(missy_profile(), config, instructions=2000)
+        assert sim.stats.retired >= 2000
+
+    def test_iq_pressure_from_issued_entries(self):
+        """Issued instructions hold IQ entries until confirmation."""
+        sim = run(missy_profile(), instructions=3000)
+        assert sim.stats.avg_iq_issued_waiting > 1.0
+
+    def test_longer_iq_ex_means_more_useless_work(self):
+        short = run(missy_profile(), CoreConfig.base().with_pipe(5, 3),
+                    instructions=3000)
+        long = run(missy_profile(), CoreConfig.base().with_pipe(5, 9),
+                   instructions=3000)
+        assert long.stats.total_reissues > short.stats.total_reissues
+
+
+class TestBranchResolutionLoop:
+    def _branchy(self):
+        return quiet_profile(
+            name="branchy",
+            mix=InstructionMix({OpClass.INT_ALU: 0.75, OpClass.BRANCH: 0.25}),
+            branches=BranchModel(
+                num_sites=32, loop_site_frac=0.0,
+                random_bias_lo=0.5, random_bias_hi=0.6,
+            ),
+        )
+
+    def test_mispredicts_stall_fetch(self):
+        sim = run(self._branchy(), instructions=2000)
+        assert sim.stats.cond_mispredicts > 50
+        assert sim.stats.threads[0].branch_stall_cycles > 100
+
+    def test_longer_pipe_longer_resolution(self):
+        short = run(self._branchy(), CoreConfig.base().with_pipe(3, 3),
+                    instructions=2500)
+        long = run(self._branchy(), CoreConfig.base().with_pipe(9, 9),
+                   instructions=2500)
+        assert long.stats.ipc < short.stats.ipc
+
+    def test_predictable_branches_cost_nothing(self):
+        predictable = quiet_profile(
+            name="pred",
+            mix=InstructionMix({OpClass.INT_ALU: 0.75, OpClass.BRANCH: 0.25}),
+            branches=BranchModel(
+                num_sites=4, loop_site_frac=0.0,
+                random_bias_lo=1.0, random_bias_hi=1.0,
+            ),
+        )
+        sim = run(predictable, instructions=2500)
+        assert sim.stats.branch_mispredict_rate < 0.01
+
+
+class TestSMT:
+    def test_both_threads_retire(self):
+        profiles = workload_profiles("m88ksim+compress")
+        sim = Simulator(CoreConfig.base(), profiles, seed=0)
+        sim.functional_warmup(20_000)
+        sim.run(3000)
+        assert sim.stats.threads[0].retired > 500
+        assert sim.stats.threads[1].retired > 500
+
+    def test_smt_throughput_beats_single_thread(self):
+        pair = Simulator(
+            CoreConfig.base(), workload_profiles("go+su2cor"), seed=0
+        )
+        pair.functional_warmup(20_000)
+        pair.run(4000)
+        solo = Simulator(CoreConfig.base(), workload_profiles("go"), seed=0)
+        solo.functional_warmup(20_000)
+        solo.run(4000)
+        assert pair.stats.ipc > solo.stats.ipc
+
+    def test_round_robin_policy_runs(self):
+        config = CoreConfig.base().replace(fetch_policy="round_robin")
+        sim = Simulator(config, workload_profiles("m88ksim+compress"), seed=0)
+        sim.functional_warmup(10_000)
+        sim.run(1500)
+        assert sim.stats.threads[0].retired > 100
+        assert sim.stats.threads[1].retired > 100
+
+
+class TestDTLB:
+    def test_tlb_misses_recorded_and_penalised(self):
+        profile = quiet_profile(
+            name="tlbthrash",
+            mix=InstructionMix({OpClass.INT_ALU: 0.6, OpClass.LOAD: 0.4}),
+            memory=MemoryModel(
+                hot_frac=0.2, warm_frac=0.0, cold_frac=0.8, stream_frac=0.0,
+                hot_bytes=8 * KB, cold_pages=4096, page_dwell=1,
+            ),
+        )
+        sim = run(profile, instructions=2000)
+        assert sim.stats.dtlb_misses > 100

@@ -1,0 +1,93 @@
+"""Tests for the pipetrace tooling and the next-line predictor."""
+
+import pytest
+
+from repro.analysis.pipetrace import collect_trace, render_pipetrace
+from repro.branch.line_predictor import LinePredictor, LinePredictorConfig
+from repro.core import CoreConfig
+
+
+class TestCollectTrace:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return collect_trace(
+            "m88ksim", instructions=20, skip=400, warmup=15_000
+        )
+
+    def test_row_count(self, rows):
+        assert len(rows) == 20
+
+    def test_stage_ordering(self, rows):
+        for row in rows:
+            assert row.fetch < row.rename < row.insert
+            assert row.insert <= row.issue
+            assert row.issue < row.exec_start
+            assert row.exec_start <= row.complete
+            assert row.complete <= row.retire
+            assert row.latency == row.retire - row.fetch
+
+    def test_iq_ex_traversal_length(self, rows):
+        config = CoreConfig.base()
+        for row in rows:
+            assert row.exec_start - row.issue == config.iq_ex
+
+    def test_render_contains_legend_and_rows(self, rows):
+        text = render_pipetrace(rows)
+        assert "legend" in text
+        assert f"#{rows[0].uid}" in text
+        for char in "FRQIXT":
+            assert char in text
+
+    def test_render_empty(self):
+        assert render_pipetrace([]) == "(empty trace)"
+
+    def test_dra_config_traces(self):
+        rows = collect_trace(
+            "m88ksim", CoreConfig.with_dra(), instructions=8, skip=300,
+            warmup=10_000,
+        )
+        assert len(rows) == 8
+
+
+class TestLinePredictor:
+    def test_learns_stable_transition(self):
+        lp = LinePredictor(LinePredictorConfig(entries=64, line_bytes=32))
+        assert not lp.observe(0x100, 0x900)   # cold: mispredict, train
+        assert lp.observe(0x100, 0x900)       # learned
+        assert lp.observe(0x104, 0x910)       # same line, same target line
+
+    def test_retrains_on_change(self):
+        lp = LinePredictor(LinePredictorConfig(entries=64))
+        lp.observe(0x100, 0x900)
+        assert not lp.observe(0x100, 0x2000)
+        assert lp.observe(0x100, 0x2000)
+
+    def test_mispredict_rate(self):
+        lp = LinePredictor(LinePredictorConfig(entries=64))
+        lp.observe(0x100, 0x900)
+        lp.observe(0x100, 0x900)
+        assert lp.mispredict_rate == pytest.approx(0.5)
+        assert LinePredictor().mispredict_rate == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LinePredictorConfig(entries=100)
+        with pytest.raises(ValueError):
+            LinePredictorConfig(line_bytes=33)
+        with pytest.raises(ValueError):
+            LinePredictorConfig(bubble=-1)
+
+    def test_disabled_line_predictor_is_faster_or_equal(self):
+        from repro.core.pipeline import Simulator
+        from repro.workloads import SPEC95_PROFILES
+
+        with_lp = Simulator(CoreConfig.base(), [SPEC95_PROFILES["go"]], seed=0)
+        with_lp.functional_warmup(15_000)
+        with_lp.run(1500)
+        without = Simulator(
+            CoreConfig.base().replace(line_predictor=None),
+            [SPEC95_PROFILES["go"]], seed=0,
+        )
+        without.functional_warmup(15_000)
+        without.run(1500)
+        assert without.stats.ipc >= with_lp.stats.ipc * 0.98

@@ -1,0 +1,241 @@
+"""Unit tests for branch predictors, BTB and RAS."""
+
+import random
+
+import pytest
+
+from repro.branch import (
+    BTB,
+    BTBConfig,
+    BimodalPredictor,
+    GsharePredictor,
+    ReturnAddressStack,
+    StaticTakenPredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.branch.predictors import PredictorSpec, _CounterTable
+
+
+class TestCounterTable:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            _CounterTable(1000)
+
+    def test_saturation(self):
+        table = _CounterTable(4, initial=0)
+        for _ in range(10):
+            table.update(0, taken=True)
+        assert table.predict(0)
+        for _ in range(2):
+            table.update(0, taken=False)
+        assert not table.predict(0)
+
+    def test_hysteresis(self):
+        table = _CounterTable(4, initial=0)
+        for _ in range(4):
+            table.update(0, taken=True)   # saturate at 3
+        table.update(0, taken=False)      # 2: still predicts taken
+        assert table.predict(0)
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        p = BimodalPredictor(64)
+        for _ in range(10):
+            p.update(0x400, True)
+        assert p.predict(0x400)
+
+    def test_distinct_pcs_learn_independently(self):
+        p = BimodalPredictor(1024)
+        for _ in range(10):
+            p.update(0x400, True)
+            p.update(0x404, False)
+        assert p.predict(0x400)
+        assert not p.predict(0x404)
+
+    def test_word_adjacent_pcs_do_not_alias(self):
+        # the regression behind the pc >> 2 indexing fix
+        p = BimodalPredictor(4096)
+        for i in range(64):
+            p.update(0x1000 + 4 * i, True)
+        for i in range(64):
+            assert p.predict(0x1000 + 4 * i)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        p = GsharePredictor(4096, history_bits=8)
+        pattern = [True, False] * 200
+        correct = 0
+        for taken in pattern:
+            correct += p.predict(0x500) == taken
+            p.update(0x500, taken)
+        # the tail of the run should be essentially perfect
+        assert correct > len(pattern) * 0.8
+
+    def test_bimodal_cannot_learn_alternation(self):
+        p = BimodalPredictor(4096)
+        pattern = [True, False] * 200
+        correct = sum(
+            (p.predict(0x500) == taken, p.update(0x500, taken))[0]
+            for taken in pattern
+        )
+        assert correct < len(pattern) * 0.7
+
+
+class TestTournament:
+    def test_beats_both_components_on_mixed_workload(self):
+        rng = random.Random(7)
+        sites = [(0x100 + 4 * i, rng.random() < 0.5) for i in range(16)]
+        predictors = {
+            "tournament": TournamentPredictor(),
+            "bimodal": BimodalPredictor(),
+            "gshare": GsharePredictor(),
+        }
+        scores = {name: 0 for name in predictors}
+        trials = 3000
+        for _ in range(trials):
+            pc, alternates = sites[rng.randrange(len(sites))]
+            taken = rng.random() < 0.9 if not alternates else rng.random() < 0.5
+            for name, p in predictors.items():
+                scores[name] += p.predict(pc) == taken
+                p.update(pc, taken)
+        assert scores["tournament"] >= scores["gshare"] * 0.95
+        assert scores["tournament"] >= scores["bimodal"] * 0.95
+
+    def test_static_taken(self):
+        p = StaticTakenPredictor()
+        assert p.predict(0x1234)
+        p.update(0x1234, False)
+        assert p.predict(0x1234)
+
+
+class TestMakePredictor:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("taken", StaticTakenPredictor),
+            ("bimodal", BimodalPredictor),
+            ("gshare", GsharePredictor),
+            ("tournament", TournamentPredictor),
+        ],
+    )
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_predictor(PredictorSpec(kind=kind)), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_predictor(PredictorSpec(kind="neural"))
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(BTBConfig(entries=64, assoc=4))
+        assert btb.lookup(0x400) is None
+        btb.install(0x400, 0x999)
+        assert btb.lookup(0x400) == 0x999
+
+    def test_update_replaces_target(self):
+        btb = BTB()
+        btb.install(0x400, 0x1)
+        btb.install(0x400, 0x2)
+        assert btb.lookup(0x400) == 0x2
+
+    def test_set_eviction_is_lru(self):
+        btb = BTB(BTBConfig(entries=8, assoc=2))  # 4 sets
+        stride = 4 * 4  # same set (pc >> 2 indexing over 4 sets)
+        pcs = [0x100 + i * stride for i in range(3)]
+        btb.install(pcs[0], 1)
+        btb.install(pcs[1], 2)
+        btb.lookup(pcs[0])
+        btb.install(pcs[2], 3)  # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+
+    def test_word_adjacent_pcs_use_distinct_sets(self):
+        btb = BTB(BTBConfig(entries=2048, assoc=4))
+        for i in range(128):
+            btb.install(0x100 + 4 * i, i)
+        hits = sum(btb.lookup(0x100 + 4 * i) == i for i in range(128))
+        assert hits == 128
+
+    def test_hit_rate(self):
+        btb = BTB()
+        btb.install(0x10, 0x20)
+        btb.lookup(0x10)
+        btb.lookup(0x14)
+        assert btb.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BTBConfig(entries=10, assoc=4)
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestLocalHistory:
+    def test_learns_loop_exit_pattern(self):
+        """A fixed-trip loop branch is perfectly periodic: the local
+        predictor should learn the exit, bimodal cannot."""
+        from repro.branch import LocalHistoryPredictor
+
+        local = LocalHistoryPredictor(history_bits=10)
+        bimodal = BimodalPredictor()
+        pattern = ([True] * 5 + [False]) * 120  # trip count 5
+        scores = {"local": 0, "bimodal": 0}
+        for taken in pattern:
+            scores["local"] += local.predict(0x800) == taken
+            scores["bimodal"] += bimodal.predict(0x800) == taken
+            local.update(0x800, taken)
+            bimodal.update(0x800, taken)
+        # steady state: local near-perfect, bimodal misses every exit
+        assert scores["local"] > len(pattern) * 0.9
+        assert scores["bimodal"] < len(pattern) * 0.87
+
+    def test_distinct_pcs_have_distinct_histories(self):
+        from repro.branch import LocalHistoryPredictor
+
+        p = LocalHistoryPredictor()
+        for _ in range(50):
+            p.update(0x100, True)
+            p.update(0x104, False)
+        assert p.predict(0x100)
+        assert not p.predict(0x104)
+
+    def test_make_predictor_local(self):
+        from repro.branch import LocalHistoryPredictor
+
+        predictor = make_predictor(PredictorSpec(kind="local"))
+        assert isinstance(predictor, LocalHistoryPredictor)
+
+    def test_invalid_geometry(self):
+        from repro.branch import LocalHistoryPredictor
+
+        with pytest.raises(ValueError):
+            LocalHistoryPredictor(history_entries=100)

@@ -1,0 +1,47 @@
+"""Tests for the named machine presets."""
+
+import pytest
+
+from repro.loops import loops_for_config
+from repro.presets import MACHINE_PRESETS, preset
+
+
+class TestPresets:
+    def test_known_presets_build(self):
+        for name in MACHINE_PRESETS:
+            config = preset(name)
+            assert config.iq_entries > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("itanium")
+
+    def test_alpha_branch_loop_matches_paper_example(self):
+        """§1: the 21264's branch loop minimum impact is 7 cycles."""
+        config = preset("alpha21264")
+        loops = {l.name: l for l in loops_for_config(config)}
+        assert loops["branch_resolution"].min_misspeculation_impact == 7
+
+    def test_pentium4_branch_loop_is_much_longer(self):
+        """The paper's motivation: ~20-cycle branch resolution."""
+        config = preset("pentium4")
+        loops = {l.name: l for l in loops_for_config(config)}
+        assert loops["branch_resolution"].min_misspeculation_impact >= 20
+
+    def test_base_preset_is_the_papers_machine(self):
+        config = preset("base")
+        assert config.label == "Base:5_5"
+        assert config.load_loop_delay == 8
+
+    def test_presets_are_orderable_by_pipe_depth(self):
+        depths = {
+            name: preset(name).min_int_pipeline for name in MACHINE_PRESETS
+        }
+        assert depths["alpha21264"] < depths["base"] < depths["pentium4"]
+
+    def test_alpha_preset_runs(self):
+        from repro import simulate
+
+        result = simulate("m88ksim", preset("alpha21264"),
+                          instructions=600, warmup=5_000, detailed_warmup=100)
+        assert result.ipc > 0.3

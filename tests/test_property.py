@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import EmpiricalCDF
+from repro.branch.predictors import _CounterTable
+from repro.core.dra import ClusterRegisterCache, InsertionTable
+from repro.core.regfile import PhysRegFile
+from repro.core.stats import CoreStats
+from repro.memory import Cache, CacheConfig
+
+lines = st.integers(min_value=0, max_value=63)
+
+
+class TestCacheProperties:
+    @given(st.lists(lines, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_lru_model(self, accesses):
+        """The cache must behave exactly like a per-set LRU reference."""
+        config = CacheConfig(
+            name="p", size_bytes=512, line_bytes=64, assoc=2, hit_latency=1
+        )
+        cache = Cache(config)
+        reference = {}  # set index -> OrderedDict of lines (LRU first)
+        for line in accesses:
+            addr = line * 64
+            set_index = line % config.num_sets
+            ways = reference.setdefault(set_index, OrderedDict())
+            expected_hit = line in ways
+            assert cache.access(addr) == expected_hit
+            ways.pop(line, None)
+            ways[line] = True
+            if len(ways) > config.assoc:
+                ways.popitem(last=False)
+
+    @given(st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        config = CacheConfig(
+            name="p", size_bytes=256, line_bytes=64, assoc=2, hit_latency=1
+        )
+        cache = Cache(config)
+        for line in accesses:
+            cache.access(line * 64)
+            assert cache.occupancy <= config.num_sets * config.assoc
+
+    @given(st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, accesses):
+        cache = Cache(CacheConfig(name="p", size_bytes=512, line_bytes=64,
+                                  assoc=2, hit_latency=1))
+        for line in accesses:
+            cache.access(line * 64)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(accesses)
+
+
+class TestCounterProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_counters_stay_in_range(self, outcomes):
+        table = _CounterTable(16)
+        for taken in outcomes:
+            table.update(3, taken)
+            assert 0 <= table._counters[3] <= 3
+
+    @given(st.integers(min_value=4, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_repeated_taken_converges_to_taken(self, repeats):
+        table = _CounterTable(16)
+        for _ in range(repeats):
+            table.update(5, True)
+        assert table.predict(5)
+
+
+class TestCRCProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_size_bounded_and_newest_retained(self, pregs):
+        crc = ClusterRegisterCache(entries=4, stats=CoreStats())
+        for preg in pregs:
+            crc.insert(preg)
+            assert len(crc) <= 4
+            assert crc.contains(preg)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["ins", "inv"]),
+                      st.integers(min_value=0, max_value=15)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invalidate_removes(self, events):
+        crc = ClusterRegisterCache(entries=4, stats=CoreStats())
+        for kind, preg in events:
+            if kind == "ins":
+                crc.insert(preg)
+            else:
+                crc.invalidate(preg)
+                assert not crc.contains(preg)
+
+
+class TestInsertionTableProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["inc", "dec", "clr"]),
+                      st.integers(min_value=0, max_value=7)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_bounded(self, events):
+        table = InsertionTable(8, counter_max=3, stats=CoreStats())
+        for kind, preg in events:
+            if kind == "inc":
+                table.increment(preg)
+            elif kind == "dec":
+                table.decrement(preg)
+            else:
+                table.clear(preg)
+            assert 0 <= table.count(preg) <= 3
+
+
+class TestRegFileProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_conservation(self, ops):
+        rf = PhysRegFile(32)
+        held = []
+        for allocate in ops:
+            if allocate and rf.can_allocate():
+                held.append(rf.allocate())
+            elif held:
+                rf.free(held.pop())
+            assert rf.free_count + len(held) == 32
+
+
+class TestCDFProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCDF(samples)
+        previous = 0.0
+        for x in range(0, 1001, 50):
+            value = cdf.at(x)
+            assert 0.0 <= value <= 1.0
+            assert value >= previous
+            previous = value
+        assert cdf.at(max(samples)) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_tail_complements_cdf(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for x in (0, 10, 50, 100):
+            assert abs(cdf.at(x) + cdf.tail_fraction(x) - 1.0) < 1e-12

@@ -1,0 +1,93 @@
+"""Unit tests for the physical register file and renaming."""
+
+import pytest
+
+from repro.core.regfile import PhysRegFile, RenameMap
+from repro.isa.registers import NUM_ARCH_REGS
+
+
+class TestPhysRegFile:
+    def test_allocation_resets_timing_state(self):
+        rf = PhysRegFile(8)
+        preg = rf.allocate()
+        rf.make_ready(preg, 5)
+        rf.free(preg)
+        again = rf.allocate()
+        assert again == preg
+        assert rf.spec_avail[again] is None
+        assert rf.avail[again] is None
+        assert rf.writeback[again] is None
+
+    def test_free_count_tracks(self):
+        rf = PhysRegFile(4)
+        assert rf.free_count == 4
+        a = rf.allocate()
+        assert rf.free_count == 3
+        rf.free(a)
+        assert rf.free_count == 4
+
+    def test_exhaustion_raises(self):
+        rf = PhysRegFile(2)
+        rf.allocate()
+        rf.allocate()
+        assert not rf.can_allocate()
+        with pytest.raises(RuntimeError):
+            rf.allocate()
+
+    def test_make_ready(self):
+        rf = PhysRegFile(2)
+        preg = rf.allocate()
+        rf.make_ready(preg, 7)
+        assert rf.spec_avail[preg] == 7
+        assert rf.avail[preg] == 7
+        assert rf.writeback[preg] == 7
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PhysRegFile(0)
+
+
+class TestRenameMap:
+    def test_initial_state_is_ready(self):
+        rf = PhysRegFile(256)
+        rmap = RenameMap(rf, start_cycle=0)
+        assert len(rmap.map) == NUM_ARCH_REGS
+        for arch in range(NUM_ARCH_REGS):
+            preg = rmap.lookup(arch)
+            assert rf.avail[preg] == 0
+
+    def test_rename_dest_changes_mapping(self):
+        rf = PhysRegFile(256)
+        rmap = RenameMap(rf)
+        old = rmap.lookup(5)
+        new, prev = rmap.rename_dest(5)
+        assert prev == old
+        assert rmap.lookup(5) == new
+        assert new != old
+
+    def test_undo_rename_restores(self):
+        rf = PhysRegFile(256)
+        rmap = RenameMap(rf)
+        old = rmap.lookup(5)
+        free_before = rf.free_count
+        new, prev = rmap.rename_dest(5)
+        rmap.undo_rename(5, new, prev)
+        assert rmap.lookup(5) == old
+        assert rf.free_count == free_before
+
+    def test_undo_out_of_order_rejected(self):
+        rf = PhysRegFile(256)
+        rmap = RenameMap(rf)
+        new1, prev1 = rmap.rename_dest(5)
+        new2, prev2 = rmap.rename_dest(5)
+        with pytest.raises(RuntimeError):
+            rmap.undo_rename(5, new1, prev1)  # must undo new2 first
+        rmap.undo_rename(5, new2, prev2)
+        rmap.undo_rename(5, new1, prev1)
+
+    def test_two_threads_share_free_list(self):
+        rf = PhysRegFile(256)
+        t0 = RenameMap(rf)
+        t1 = RenameMap(rf)
+        assert rf.free_count == 256 - 2 * NUM_ARCH_REGS
+        assert set(t0.map).isdisjoint(set(t1.map))

@@ -1,0 +1,81 @@
+"""Tests for the high-level simulate()/SimResult API."""
+
+import pytest
+
+from repro import CoreConfig, SPEC95_PROFILES, simulate
+from repro.core.simulator import SimResult
+
+
+class TestSimulate:
+    def test_by_name(self):
+        result = simulate("m88ksim", instructions=800, warmup=10_000,
+                          detailed_warmup=200)
+        assert result.workload == "m88ksim"
+        assert result.ipc > 0.2
+        assert result.stats.measured_retired >= 800
+
+    def test_by_profiles(self):
+        result = simulate(
+            [SPEC95_PROFILES["go"]], instructions=600, warmup=5_000,
+            detailed_warmup=100,
+        )
+        assert result.workload == "go"
+
+    def test_smt_pair_by_name(self):
+        result = simulate("go+su2cor", instructions=800, warmup=10_000,
+                          detailed_warmup=200)
+        assert len(result.stats.threads) == 2
+
+    def test_default_config_is_base(self):
+        result = simulate("m88ksim", instructions=400, warmup=2_000,
+                          detailed_warmup=100)
+        assert result.config.dra is None
+        assert result.config.label == "Base:5_5"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            simulate("quake")
+
+    def test_speedup_over(self):
+        a = simulate("m88ksim", instructions=500, warmup=5_000,
+                     detailed_warmup=100)
+        assert a.speedup_over(a) == pytest.approx(1.0)
+
+    def test_speedup_over_zero_baseline(self):
+        a = simulate("m88ksim", instructions=500, warmup=5_000,
+                     detailed_warmup=100)
+        fake = SimResult(workload="x", config=a.config, stats=a.stats, seed=0)
+        fake.stats.measure_start_cycle = fake.stats.cycles  # ipc -> 0
+        with pytest.raises(ZeroDivisionError):
+            a.speedup_over(fake)
+        fake.stats.measure_start_cycle = 0
+
+    def test_describe_mentions_workload_and_config(self):
+        a = simulate("m88ksim", instructions=400, warmup=2_000,
+                     detailed_warmup=100)
+        text = a.describe()
+        assert "m88ksim" in text
+        assert "Base:5_5" in text
+
+    def test_seed_changes_stream(self):
+        a = simulate("compress", instructions=800, warmup=5_000,
+                     detailed_warmup=100, seed=0)
+        b = simulate("compress", instructions=800, warmup=5_000,
+                     detailed_warmup=100, seed=1)
+        assert a.stats.cycles != b.stats.cycles
+
+    def test_seed_reproducible(self):
+        a = simulate("compress", instructions=800, warmup=5_000,
+                     detailed_warmup=100, seed=2)
+        b = simulate("compress", instructions=800, warmup=5_000,
+                     detailed_warmup=100, seed=2)
+        assert a.stats.cycles == b.stats.cycles
+        assert a.ipc == b.ipc
+
+    def test_measurement_window_excludes_warmup(self):
+        result = simulate("m88ksim", instructions=500, warmup=5_000,
+                          detailed_warmup=300)
+        stats = result.stats
+        assert stats.measure_start_retired >= 300
+        assert stats.measured_retired >= 500
+        assert stats.measured_cycles < stats.cycles

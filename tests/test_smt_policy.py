@@ -1,0 +1,53 @@
+"""Unit tests for SMT fetch arbitration."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.smt import choose_fetch_thread
+
+
+@dataclass
+class FakeThread:
+    tid: int
+    icount: int
+
+
+class TestICount:
+    def test_picks_emptiest_thread(self):
+        threads = [FakeThread(0, 30), FakeThread(1, 10)]
+        assert choose_fetch_thread(threads, "icount").tid == 1
+
+    def test_empty_eligible_list(self):
+        assert choose_fetch_thread([], "icount") is None
+
+    def test_single_thread(self):
+        assert choose_fetch_thread([FakeThread(0, 5)], "icount").tid == 0
+
+    def test_ties_pick_first(self):
+        threads = [FakeThread(0, 10), FakeThread(1, 10)]
+        assert choose_fetch_thread(threads, "icount").tid == 0
+
+
+class TestRoundRobin:
+    def test_alternates(self):
+        threads = [FakeThread(0, 0), FakeThread(1, 100)]
+        first = choose_fetch_thread(threads, "round_robin", last_tid=-1)
+        second = choose_fetch_thread(threads, "round_robin", last_tid=first.tid)
+        assert {first.tid, second.tid} == {0, 1}
+
+    def test_wraps_around(self):
+        threads = [FakeThread(0, 0), FakeThread(1, 0)]
+        assert choose_fetch_thread(threads, "round_robin", last_tid=1).tid == 0
+
+    def test_skips_ineligible(self):
+        threads = [FakeThread(2, 0)]
+        assert choose_fetch_thread(threads, "round_robin", last_tid=0).tid == 2
+
+    def test_empty(self):
+        assert choose_fetch_thread([], "round_robin") is None
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        choose_fetch_thread([FakeThread(0, 0)], "priority")

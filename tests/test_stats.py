@@ -1,0 +1,95 @@
+"""Unit tests for the statistics model."""
+
+import pytest
+
+from repro.core.stats import (
+    CoreStats,
+    OperandSource,
+    ReissueCause,
+    ThreadStats,
+)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = CoreStats(threads=[ThreadStats(retired=100)])
+        stats.cycles = 50
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats().ipc == 0.0
+
+    def test_retired_sums_threads(self):
+        stats = CoreStats(
+            threads=[ThreadStats(retired=30), ThreadStats(retired=20)]
+        )
+        assert stats.retired == 50
+
+    def test_default_has_one_thread(self):
+        assert len(CoreStats().threads) == 1
+
+    def test_total_reissues(self):
+        stats = CoreStats()
+        stats.reissues[ReissueCause.LOAD_MISS] = 3
+        stats.reissues[ReissueCause.OPERAND_MISS] = 2
+        assert stats.total_reissues == 5
+
+    def test_branch_mispredict_rate(self):
+        stats = CoreStats()
+        stats.cond_branches = 200
+        stats.cond_mispredicts = 20
+        assert stats.branch_mispredict_rate == pytest.approx(0.1)
+        assert CoreStats().branch_mispredict_rate == 0.0
+
+    def test_load_l1_miss_rate(self):
+        stats = CoreStats()
+        stats.loads_executed = 100
+        stats.load_l1_misses = 25
+        assert stats.load_l1_miss_rate == pytest.approx(0.25)
+
+    def test_operand_fractions_normalise(self):
+        stats = CoreStats()
+        stats.operand_reads[OperandSource.FORWARD] = 60
+        stats.operand_reads[OperandSource.PREREAD] = 30
+        stats.operand_reads[OperandSource.MISS] = 10
+        fractions = stats.operand_source_fractions()
+        assert fractions[OperandSource.FORWARD] == pytest.approx(0.6)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert stats.operand_miss_rate == pytest.approx(0.1)
+
+    def test_operand_fractions_when_idle(self):
+        fractions = CoreStats().operand_source_fractions()
+        assert all(v == 0.0 for v in fractions.values())
+
+    def test_occupancy_averages(self):
+        stats = CoreStats()
+        stats.cycles = 4
+        stats.iq_occupancy_sum = 40
+        stats.iq_issued_waiting_sum = 8
+        assert stats.avg_iq_occupancy == pytest.approx(10.0)
+        assert stats.avg_iq_issued_waiting == pytest.approx(2.0)
+
+
+class TestMeasurementWindow:
+    def test_measured_ipc_excludes_prefix(self):
+        stats = CoreStats(threads=[ThreadStats(retired=100)])
+        stats.cycles = 100
+        stats.threads[0].retired = 100
+        stats.start_measurement()
+        stats.cycles = 150
+        stats.threads[0].retired = 250
+        assert stats.measured_cycles == 50
+        assert stats.measured_retired == 150
+        assert stats.measured_ipc == pytest.approx(3.0)
+
+    def test_measured_ipc_zero_window(self):
+        assert CoreStats().measured_ipc == 0.0
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = CoreStats().summary()
+        for key in ("cycles", "retired", "ipc", "reissues",
+                    "branch_mispredict_rate", "operand_miss_rate"):
+            assert key in summary
+        assert all(isinstance(v, float) for v in summary.values())

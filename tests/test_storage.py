@@ -1,0 +1,65 @@
+"""Tests for result persistence and comparison."""
+
+import pytest
+
+from repro import CoreConfig, simulate
+from repro.analysis.storage import (
+    SCHEMA_VERSION,
+    compare_ipc,
+    load_summary,
+    result_summary,
+    save_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate("m88ksim", CoreConfig.base(), instructions=600,
+                    warmup=5_000, detailed_warmup=100)
+
+
+class TestResultSummary:
+    def test_summary_fields(self, result):
+        summary = result_summary(result)
+        assert summary["workload"] == "m88ksim"
+        assert summary["config"] == "Base:5_5"
+        assert summary["ipc"] == result.ipc
+        assert "operand_sources" in summary
+        assert "reissues" in summary
+
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_summary(path, [result], extra={"note": "test"})
+        payload = load_summary(path)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["extra"]["note"] == "test"
+        assert len(payload["results"]) == 1
+        assert payload["results"][0]["ipc"] == pytest.approx(result.ipc)
+
+    def test_schema_mismatch_rejected(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_summary(path, [result])
+        text = path.read_text().replace(
+            f'"schema": {SCHEMA_VERSION}', '"schema": 999'
+        )
+        path.write_text(text)
+        with pytest.raises(ValueError):
+            load_summary(path)
+
+
+class TestCompare:
+    def test_ipc_deltas(self, result, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        save_summary(a, [result])
+        save_summary(b, [result])
+        deltas = compare_ipc(load_summary(a), load_summary(b))
+        assert len(deltas) == 1
+        assert deltas[0]["ratio"] == pytest.approx(1.0)
+
+    def test_unmatched_entries_skipped(self, result, tmp_path):
+        a = tmp_path / "a.json"
+        save_summary(a, [])
+        b = tmp_path / "b.json"
+        save_summary(b, [result])
+        assert compare_ipc(load_summary(a), load_summary(b)) == []

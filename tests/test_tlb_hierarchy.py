@@ -1,0 +1,133 @@
+"""Unit tests for the TLB and the memory hierarchy."""
+
+import pytest
+
+from repro.memory import (
+    CacheConfig,
+    HierarchyConfig,
+    MemoryHierarchy,
+    TLB,
+    TLBConfig,
+)
+
+
+class TestTLB:
+    def test_cold_miss_then_hit(self):
+        tlb = TLB(TLBConfig(entries=4))
+        assert not tlb.access(0x10000)
+        assert tlb.access(0x10000)
+
+    def test_same_page_hits(self):
+        tlb = TLB(TLBConfig(entries=4, page_bytes=8192))
+        tlb.access(0)
+        assert tlb.access(8191)
+        assert not tlb.access(8192)
+
+    def test_lru_eviction(self):
+        tlb = TLB(TLBConfig(entries=2, page_bytes=8192))
+        tlb.access(0 * 8192)
+        tlb.access(1 * 8192)
+        tlb.access(0 * 8192)      # page 0 is MRU
+        tlb.access(2 * 8192)      # evicts page 1
+        assert tlb.access(0 * 8192)
+        assert not tlb.access(1 * 8192)
+
+    def test_miss_rate(self):
+        tlb = TLB(TLBConfig(entries=4))
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0)
+        with pytest.raises(ValueError):
+            TLBConfig(page_bytes=1000)
+
+
+class TestHierarchy:
+    def _tiny(self) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            HierarchyConfig(
+                l1d=CacheConfig(name="L1D", size_bytes=1024, line_bytes=64,
+                                assoc=2, hit_latency=3, banks=2),
+                l1i=CacheConfig(name="L1I", size_bytes=1024, line_bytes=64,
+                                assoc=2, hit_latency=1),
+                l2=CacheConfig(name="L2", size_bytes=8192, line_bytes=64,
+                               assoc=4, hit_latency=12),
+                tlb=TLBConfig(entries=8, miss_latency=30),
+                memory_latency=80,
+                bank_conflict_penalty=3,
+            )
+        )
+
+    def test_l1_hit_latency(self):
+        h = self._tiny()
+        h.load(0x100)  # warm
+        result = h.load(0x100)
+        assert result.l1_hit
+        assert result.latency == 3
+        assert result.as_predicted
+
+    def test_l2_hit_latency(self):
+        h = self._tiny()
+        h.load(0x100)
+        # evict 0x100 from tiny L1 by filling its set, keeping L2 warm
+        set_stride = 8 * 64
+        h.load(0x100 + set_stride)
+        h.load(0x100 + 2 * set_stride)
+        result = h.load(0x100)
+        assert not result.l1_hit
+        assert result.l2_hit
+        assert result.latency == 3 + 12
+        assert not result.as_predicted
+
+    def test_memory_latency(self):
+        h = self._tiny()
+        result = h.load(0x555000)
+        assert not result.l1_hit
+        assert result.l2_hit is False
+        # compulsory TLB miss adds the walk latency as well
+        assert result.latency == 3 + 12 + 80 + 30
+        assert not result.tlb_hit
+
+    def test_tlb_hit_after_warm(self):
+        h = self._tiny()
+        h.load(0x200)
+        result = h.load(0x240)
+        assert result.tlb_hit
+
+    def test_bank_conflict_penalty(self):
+        h = self._tiny()
+        a, b = 0x0, 2 * 64  # same bank with 2 banks (line-interleaved)
+        h.load(a)
+        h.load(b)
+        h.load(a, cycle=50)
+        result = h.load(b, cycle=50)
+        assert result.bank_conflict
+        assert result.latency == 3 + 3
+        assert not result.as_predicted
+
+    def test_ifetch_latencies(self):
+        h = self._tiny()
+        assert h.fetch(0x4000) == 12 + 80  # cold: L2 miss
+        assert h.fetch(0x4000) == 0        # now in L1I
+
+    def test_invalidate_all(self):
+        h = self._tiny()
+        h.load(0x100)
+        h.invalidate_all()
+        result = h.load(0x100)
+        assert not result.l1_hit
+
+    def test_store_allocates(self):
+        h = self._tiny()
+        h.store(0x300)
+        assert h.load(0x300).l1_hit
+
+    def test_default_geometry_matches_base_machine(self):
+        h = MemoryHierarchy()
+        assert h.l1d.config.hit_latency == 3
+        assert h.l1d.config.size_bytes == 64 * 1024
+        assert h.l2.config.size_bytes == 1024 * 1024
+        assert h.config.memory_latency == 80
