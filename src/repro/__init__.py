@@ -19,6 +19,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
+from repro.errors import (
+    CellCrashError,
+    CellTimeoutError,
+    ConfigError,
+    ReproError,
+    SimulationHangError,
+    TransientCellError,
+    WorkloadError,
+)
 from repro.core import (
     CoreConfig,
     CoreStats,
@@ -49,6 +58,13 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
+    "ConfigError",
+    "WorkloadError",
+    "SimulationHangError",
+    "CellTimeoutError",
+    "CellCrashError",
+    "TransientCellError",
     "CoreConfig",
     "DRAConfig",
     "LoadRecovery",

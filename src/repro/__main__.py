@@ -9,6 +9,13 @@ Subcommands::
     loopsim loops [--dra|--machine NAME]   the §1 loop inventory
     loopsim trace swim -n 24               pipeview-style timeline
     loopsim workloads                      list the Spec95 stand-ins
+
+Figure and ablation campaigns run on the fault-tolerant harness
+(:mod:`repro.harness`): ``--jobs N`` runs cells in parallel worker
+subprocesses, ``--cell-timeout S`` arms the hang watchdog, and
+``--resume`` / ``--cache-dir DIR`` persist finished cells so an
+interrupted campaign re-executes only what is missing.  Failed cells
+render as ``n/a`` plus a failure report instead of aborting the figure.
 """
 
 from __future__ import annotations
@@ -18,6 +25,12 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro import CoreConfig, LoadRecovery, simulate
+from repro.errors import (
+    ReproError,
+    SimulationHangError,
+    WorkloadError,
+)
+from repro.harness import HarnessSettings, default_cache_dir
 from repro.experiments import (
     ExperimentSettings,
     render_loop_inventory,
@@ -46,10 +59,26 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     )
 
 
+def _harness(args: argparse.Namespace) -> HarnessSettings:
+    """Fault-tolerance settings for campaign subcommands."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "resume", False) and not cache_dir:
+        cache_dir = str(default_cache_dir())
+    return HarnessSettings(
+        jobs=getattr(args, "jobs", 1),
+        cell_timeout=getattr(args, "cell_timeout", None),
+        cache_dir=cache_dir,
+    )
+
+
 def _workloads(args: argparse.Namespace) -> Sequence[str]:
-    if args.workloads:
-        return tuple(args.workloads.split(","))
-    return ALL_WORKLOADS
+    if not args.workloads:
+        return ALL_WORKLOADS
+    names = tuple(args.workloads.split(","))
+    unknown = [name for name in names if name not in ALL_WORKLOADS]
+    if unknown:
+        raise WorkloadError(f"unknown workload(s): {', '.join(unknown)}")
+    return names
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -64,6 +93,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workloads", default="",
         help="comma-separated workload subset (default: all 13)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent simulation workers (default 1; >1 forces "
+             "subprocess isolation)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per simulation cell; hung cells are "
+             "killed, retried, and reported",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse cached cells from an earlier (possibly interrupted) "
+             "run; only missing cells are re-executed",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location (implies caching; "
+             "default with --resume: $REPRO_CACHE_DIR or "
+             "~/.cache/loopsim)",
     )
 
 
@@ -91,26 +141,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fig(args: argparse.Namespace) -> int:
     settings = _settings(args)
+    harness = _harness(args)
     name = args.figure
     if name == "fig4":
-        print(run_figure4(settings, workloads=_workloads(args)).render())
+        result = run_figure4(settings, workloads=_workloads(args),
+                             harness=harness)
     elif name == "fig5":
-        print(run_figure5(settings, workloads=_workloads(args)).render())
+        result = run_figure5(settings, workloads=_workloads(args),
+                             harness=harness)
     elif name == "fig6":
-        print(run_figure6(settings).render())
+        # Figure 6 is a single-workload CDF; honour --workloads by taking
+        # the first requested workload rather than silently ignoring it.
+        kwargs = {"harness": harness}
+        if args.workloads:
+            kwargs["workload"] = _workloads(args)[0]
+        result = run_figure6(settings, **kwargs)
     elif name == "fig8":
-        print(run_figure8(settings, workloads=_workloads(args)).render())
+        result = run_figure8(settings, workloads=_workloads(args),
+                             harness=harness)
     elif name == "fig9":
-        print(run_figure9(settings, workloads=_workloads(args)).render())
+        result = run_figure9(settings, workloads=_workloads(args),
+                             harness=harness)
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(name)
-    return 0
+    print(result.render())
+    # Partial figures still render, but the exit code must tell CI (and
+    # a resuming user) that cells are missing.
+    return 1 if getattr(result, "failures", None) else 0
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
     settings = _settings(args)
-    workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    kwargs = {"workloads": workloads} if workloads else {}
+    kwargs = {"harness": _harness(args)}
+    if args.workloads:
+        kwargs["workloads"] = _workloads(args)
     for runner in (
         run_recovery_ablation,
         run_crc_ablation,
@@ -223,7 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except WorkloadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(f"valid workloads: {', '.join(ALL_WORKLOADS)}", file=sys.stderr)
+        return 2
+    except SimulationHangError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.snapshot is not None:
+            print(error.snapshot.describe(), file=sys.stderr)
+        return 2
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

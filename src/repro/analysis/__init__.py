@@ -6,6 +6,7 @@ examples.
 """
 
 from repro.analysis.metrics import (
+    MISSING,
     geometric_mean,
     percent,
     speedup,
@@ -19,6 +20,7 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "MISSING",
     "speedup",
     "geometric_mean",
     "percent",

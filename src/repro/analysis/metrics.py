@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 
 def speedup(experiment_ipc: float, baseline_ipc: float) -> float:
@@ -23,8 +23,19 @@ def geometric_mean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def percent(value: float, digits: int = 1) -> str:
-    """Render a ratio as a percent string (0.153 -> '15.3%')."""
+#: Placeholder rendered for cells whose simulation failed (the harness's
+#: graceful-degradation path: partial figures instead of aborted runs).
+MISSING = "n/a"
+
+
+def percent(value: Optional[float], digits: int = 1) -> str:
+    """Render a ratio as a percent string (0.153 -> '15.3%').
+
+    ``None`` — a cell lost to a simulation failure — renders as
+    :data:`MISSING`.
+    """
+    if value is None:
+        return MISSING
     return f"{value * 100:.{digits}f}%"
 
 

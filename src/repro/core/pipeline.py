@@ -47,6 +47,7 @@ from repro.core.forwarding import ForwardingBuffer
 from repro.core.iq import IssueQueue
 from repro.core.memdep import MemDepPolicy, StoreQueue, StoreWaitPredictor
 from repro.core.regfile import PhysRegFile, RenameMap
+from repro.errors import ConfigError, HangSnapshot, SimulationHangError
 from repro.core.stats import (
     CoreStats,
     OperandSource,
@@ -911,11 +912,13 @@ class Simulator:
         """Run until ``warmup + instructions`` have retired.
 
         ``warmup`` instructions train the predictors/caches before the
-        measurement window opens.  Raises ``RuntimeError`` if no
-        instruction retires for a long stretch (deadlock detector).
+        measurement window opens.  Raises
+        :class:`~repro.errors.SimulationHangError` (with a diagnostic
+        :class:`~repro.errors.HangSnapshot`) if no instruction retires
+        for a long stretch (deadlock detector).
         """
         if instructions < 1:
-            raise ValueError("must simulate at least one instruction")
+            raise ConfigError("must simulate at least one instruction")
         target = warmup + instructions
         last_retired = -1
         last_progress_cycle = 0
@@ -934,10 +937,41 @@ class Simulator:
                 last_retired = retired
                 last_progress_cycle = self.cycle
             elif self.cycle - last_progress_cycle > _DEADLOCK_WINDOW:
-                raise RuntimeError(
+                snapshot = self._hang_snapshot(last_progress_cycle)
+                raise SimulationHangError(
                     f"pipeline deadlock: no retire since cycle "
                     f"{last_progress_cycle} (cycle={self.cycle}, "
                     f"retired={retired}, iq={self.iq.count}, "
-                    f"inflight={self._inflight})"
+                    f"inflight={self._inflight})",
+                    snapshot,
                 )
         return self.stats
+
+    def _hang_snapshot(self, last_progress_cycle: int) -> HangSnapshot:
+        """Diagnostic state for the deadlock detector's exception."""
+        oldest: Optional[DynInst] = None
+        for thread in self.threads:
+            if thread.rob and (oldest is None or thread.rob[0].uid < oldest.uid):
+                oldest = thread.rob[0]
+        described = None
+        if oldest is not None:
+            described = (
+                f"T{oldest.thread} uid={oldest.uid} "
+                f"{oldest.op.opclass.name} pc={oldest.op.pc:#x} "
+                f"fetched@{oldest.fetch_cycle} issued {oldest.issue_count}x "
+                f"executed={oldest.executed}"
+            )
+        return HangSnapshot(
+            cycle=self.cycle,
+            last_retire_cycle=last_progress_cycle,
+            retired=self.retired,
+            inflight=self._inflight,
+            stage_occupancy={
+                "fetch/decode": sum(len(t.fetch_pipe) for t in self.threads),
+                "rename->IQ": sum(len(t.insert_pipe) for t in self.threads),
+                "issue queue": self.iq.count,
+                "execute": sum(len(v) for v in self._exec_pipe.values()),
+                "rob": sum(len(t.rob) for t in self.threads),
+            },
+            oldest_instruction=described,
+        )

@@ -14,6 +14,7 @@ from typing import List, Optional, Union
 from repro.core.config import CoreConfig
 from repro.core.pipeline import Simulator
 from repro.core.stats import CoreStats
+from repro.errors import ConfigError, WorkloadError
 from repro.workloads import WorkloadProfile, workload_profiles
 
 #: Default measurement window, sized so loop phenomena reach steady
@@ -88,14 +89,31 @@ def simulate(
     max_cycles:
         Optional hard cycle cap (for tests).
     """
+    if instructions < 1:
+        raise ConfigError(
+            f"instructions must be >= 1 (got {instructions})"
+        )
+    if warmup < 0:
+        raise ConfigError(f"warmup cannot be negative (got {warmup})")
+    if detailed_warmup < 0:
+        raise ConfigError(
+            f"detailed_warmup cannot be negative (got {detailed_warmup})"
+        )
     if config is None:
         config = CoreConfig.base()
     if isinstance(workload, str):
         name = workload
-        profiles = workload_profiles(workload)
+        try:
+            profiles = workload_profiles(workload)
+        except KeyError as error:
+            # WorkloadError subclasses KeyError, so existing callers
+            # written against the raw raise keep working.
+            raise WorkloadError(error.args[0]) from None
     else:
         profiles = list(workload)
         name = "+".join(p.name for p in profiles)
+    if not profiles:
+        raise ConfigError("workload resolved to an empty profile list")
     simulator = Simulator(config, profiles, seed=seed)
     if warmup:
         simulator.functional_warmup(warmup)

@@ -1,0 +1,111 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every failure the experiment harness has to reason about is an instance
+of :class:`ReproError`; the subclass encodes the *recovery policy*:
+
+* :class:`ConfigError` / :class:`WorkloadError` — the cell itself is
+  malformed.  Deterministic, never retried.
+* :class:`SimulationHangError` — the pipeline's deadlock detector fired.
+  Deterministic (the simulator is seeded), never retried; carries a
+  :class:`HangSnapshot` so the CLI can render *where* the machine wedged.
+* :class:`CellTimeoutError` / :class:`CellCrashError` /
+  :class:`TransientCellError` — the worker process hung, died, or hit an
+  explicitly transient fault.  Retryable with backoff.
+
+``ConfigError`` doubles as a ``ValueError`` and ``WorkloadError`` as a
+``KeyError`` so call sites written against the built-in exceptions keep
+working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class ReproError(Exception):
+    """Base class of every structured failure in this project."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid simulation parameters or machine configuration."""
+
+
+class WorkloadError(ReproError, KeyError):
+    """Unknown or unresolvable workload name."""
+
+    # KeyError.__str__ repr-quotes its argument; keep plain messages.
+    __str__ = Exception.__str__
+
+
+@dataclass(frozen=True)
+class HangSnapshot:
+    """Diagnostic state captured when the deadlock detector fires."""
+
+    cycle: int
+    last_retire_cycle: int
+    retired: int
+    inflight: int
+    #: stage name -> instructions currently occupying it
+    stage_occupancy: Dict[str, int] = field(default_factory=dict)
+    #: one-line description of the oldest un-retired instruction
+    oldest_instruction: Optional[str] = None
+
+    def describe(self) -> str:
+        """A multi-line report suitable for the CLI."""
+        lines = [
+            f"deadlock at cycle {self.cycle} "
+            f"(no retire since cycle {self.last_retire_cycle}, "
+            f"{self.retired} retired, {self.inflight} in flight)",
+            "stage occupancy:",
+        ]
+        for stage, count in self.stage_occupancy.items():
+            lines.append(f"  {stage:12s} {count:6d}")
+        if self.oldest_instruction:
+            lines.append(f"oldest in-flight: {self.oldest_instruction}")
+        return "\n".join(lines)
+
+
+class SimulationHangError(ReproError, RuntimeError):
+    """The pipeline stopped retiring instructions (deadlock detector).
+
+    Subclasses ``RuntimeError`` for compatibility with callers of the
+    original bare-``RuntimeError`` deadlock raise.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[HangSnapshot] = None):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class CellTimeoutError(ReproError):
+    """A worker subprocess exceeded its wall-clock budget and was killed."""
+
+    def __init__(self, message: str, timeout: Optional[float] = None):
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class CellCrashError(ReproError):
+    """A worker subprocess died (non-zero exit, signal, or raw exception)."""
+
+    def __init__(self, message: str, exitcode: Optional[int] = None):
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class TransientCellError(ReproError):
+    """An explicitly transient failure; retrying is expected to succeed."""
+
+
+#: Failure classes the harness retries (with capped exponential backoff).
+RETRYABLE_ERRORS: Tuple[type, ...] = (
+    CellTimeoutError,
+    CellCrashError,
+    TransientCellError,
+)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether the harness should re-run the cell after this failure."""
+    return isinstance(error, RETRYABLE_ERRORS)

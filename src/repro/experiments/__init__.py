@@ -14,7 +14,14 @@ All drivers accept an :class:`ExperimentSettings` so tests, benchmarks
 and the CLI can trade fidelity for runtime.
 """
 
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    Campaign,
+    ExperimentSettings,
+    RunPoint,
+    render_failure_report,
+    run_campaign,
+    run_config,
+)
 from repro.experiments.fig4 import Figure4Result, run_figure4
 from repro.experiments.fig5 import Figure5Result, run_figure5
 from repro.experiments.fig6 import Figure6Result, run_figure6
@@ -35,7 +42,11 @@ from repro.experiments.ablations import (
 from repro.experiments.loop_inventory import render_loop_inventory
 
 __all__ = [
+    "Campaign",
     "ExperimentSettings",
+    "RunPoint",
+    "render_failure_report",
+    "run_campaign",
     "run_config",
     "run_figure4",
     "Figure4Result",

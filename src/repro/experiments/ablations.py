@@ -9,17 +9,27 @@
   about half of all operand gaps; shrinking it shifts traffic onto the
   CRCs and the operand miss rate.
 * **Cluster slotting**: dependence-based slotting versus round-robin.
+
+Every study runs as one harness campaign (see
+:func:`repro.experiments.runner.run_campaign`): failed cells surface as
+``n/a`` entries plus a failure report instead of aborting the study.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_heading, format_table, percent
 from repro.core import CoreConfig, DRAConfig, LoadRecovery, OperandSource
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    CellFailure,
+    ExperimentSettings,
+    HarnessSettings,
+    RunPoint,
+    render_failure_report,
+    run_campaign,
+)
 
 #: Representative workloads: a branchy integer code, the archetypal
 #: load-loop code, and the operand-miss-prone low-ILP code.
@@ -32,10 +42,13 @@ class AblationResult:
 
     title: str
     variants: List[str] = field(default_factory=list)
-    #: variant -> workload -> relative IPC (vs the first variant)
-    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: variant -> workload -> relative IPC (vs the first variant);
+    #: None marks a cell lost to a simulation failure
+    rows: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
     #: variant -> workload -> auxiliary metric (policy dependent)
-    aux: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    aux: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    #: cells that failed after retries (graceful degradation)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def relative(self, variant: str, workload: str) -> float:
         """IPC of a variant relative to the baseline variant."""
@@ -49,29 +62,69 @@ class AblationResult:
             [variant] + [percent(self.rows[variant][w]) for w in workloads]
             for variant in self.variants
         ]
-        return format_heading(self.title) + "\n" + format_table(headers, rows)
+        text = format_heading(self.title) + "\n" + format_table(headers, rows)
+        report = render_failure_report(self.failures)
+        return text + ("\n\n" + report if report else "")
+
+
+def _run_ablation(
+    title: str,
+    variants: Sequence[Tuple[str, CoreConfig]],
+    workloads: Sequence[str],
+    settings: Optional[ExperimentSettings],
+    harness: Optional[HarnessSettings] = None,
+    aux: Optional[Callable[[RunPoint], float]] = None,
+) -> AblationResult:
+    """Run a variant-vs-baseline study as one fault-tolerant campaign.
+
+    The first variant is the baseline every other variant's IPC is
+    normalised against; a workload whose baseline cell failed reports
+    None for all of its variants.
+    """
+    settings = settings or ExperimentSettings()
+    result = AblationResult(title=title)
+    campaign = run_campaign(
+        [(w, config) for _, config in variants for w in workloads],
+        settings,
+        harness,
+    )
+    result.failures = campaign.failures
+    baseline_config = variants[0][1]
+    for name, config in variants:
+        result.variants.append(name)
+        result.rows[name] = {}
+        if aux is not None:
+            result.aux[name] = {}
+        for workload in workloads:
+            point = campaign.point(workload, config)
+            base = campaign.point(workload, baseline_config)
+            if point is None or base is None or base.ipc == 0:
+                result.rows[name][workload] = None
+            else:
+                result.rows[name][workload] = point.ipc / base.ipc
+            if aux is not None:
+                result.aux[name][workload] = (
+                    aux(point) if point is not None else None
+                )
+    return result
 
 
 def run_recovery_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Load-miss recovery policies on the base machine (§2.2.2)."""
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: load resolution loop management")
-    policies = [LoadRecovery.REISSUE, LoadRecovery.REFETCH, LoadRecovery.STALL]
-    baseline: Dict[str, float] = {}
-    for policy in policies:
-        variant = policy.value
-        result.variants.append(variant)
-        result.rows[variant] = {}
-        for workload in workloads:
-            config = CoreConfig.base().replace(load_recovery=policy)
-            point = run_config(workload, config, settings)
-            if policy is LoadRecovery.REISSUE:
-                baseline[workload] = point.ipc
-            result.rows[variant][workload] = point.ipc / baseline[workload]
-    return result
+    variants = [
+        (policy.value, CoreConfig.base().replace(load_recovery=policy))
+        for policy in (
+            LoadRecovery.REISSUE, LoadRecovery.REFETCH, LoadRecovery.STALL
+        )
+    ]
+    return _run_ablation(
+        "Ablation: load resolution loop management",
+        variants, workloads, settings, harness,
+    )
 
 
 def run_crc_ablation(
@@ -79,27 +132,19 @@ def run_crc_ablation(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     entries: Sequence[int] = (4, 8, 16, 32),
     rf_latency: int = 5,
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """CRC capacity and replacement policy (§5.1)."""
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: cluster register cache geometry")
-    baseline: Dict[str, float] = {}
-    variants: List[Tuple[str, DRAConfig]] = [
-        (f"fifo-{n}", DRAConfig(crc_entries=n)) for n in entries
+    dras = [(f"fifo-{n}", DRAConfig(crc_entries=n)) for n in entries]
+    dras.append(("oracle-16", DRAConfig(crc_entries=16, oracle_crc=True)))
+    variants = [
+        (name, CoreConfig.with_dra(rf_latency, dra=dra)) for name, dra in dras
     ]
-    variants.append(("oracle-16", DRAConfig(crc_entries=16, oracle_crc=True)))
-    for name, dra in variants:
-        result.variants.append(name)
-        result.rows[name] = {}
-        result.aux[name] = {}
-        for workload in workloads:
-            config = CoreConfig.with_dra(rf_latency, dra=dra)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[name][workload] = point.ipc / baseline[workload]
-            result.aux[name][workload] = point.last.stats.operand_miss_rate
-    return result
+    return _run_ablation(
+        "Ablation: cluster register cache geometry",
+        variants, workloads, settings, harness,
+        aux=lambda point: point.last.stats.operand_miss_rate,
+    )
 
 
 def run_forwarding_ablation(
@@ -107,32 +152,27 @@ def run_forwarding_ablation(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     depths: Sequence[int] = (3, 6, 9, 15),
     rf_latency: int = 5,
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Forwarding-buffer depth under the DRA (§4, Figure 6)."""
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: forwarding buffer depth")
-    baseline: Dict[str, float] = {}
-    for depth in depths:
-        variant = f"fb-{depth}"
-        result.variants.append(variant)
-        result.rows[variant] = {}
-        result.aux[variant] = {}
-        for workload in workloads:
-            config = CoreConfig.with_dra(rf_latency).replace(fb_depth=depth)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[variant][workload] = point.ipc / baseline[workload]
-            stats = point.last.stats
-            fractions = stats.operand_source_fractions()
-            result.aux[variant][workload] = fractions[OperandSource.FORWARD]
-    return result
+    variants = [
+        (f"fb-{depth}", CoreConfig.with_dra(rf_latency).replace(fb_depth=depth))
+        for depth in depths
+    ]
+    return _run_ablation(
+        "Ablation: forwarding buffer depth",
+        variants, workloads, settings, harness,
+        aux=lambda point: point.last.stats.operand_source_fractions()[
+            OperandSource.FORWARD
+        ],
+    )
 
 
 def run_predictor_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ("compress", "go", "m88ksim"),
     kinds: Sequence[str] = ("taken", "bimodal", "gshare", "local", "tournament"),
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Branch predictor choice — attacking the branch loop's *rate*.
 
@@ -141,31 +181,22 @@ def run_predictor_ablation(
     """
     from repro.branch.predictors import PredictorSpec
 
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: branch direction predictor")
-    baseline: Dict[str, float] = {}
-    for kind in kinds:
-        result.variants.append(kind)
-        result.rows[kind] = {}
-        result.aux[kind] = {}
-        for workload in workloads:
-            config = CoreConfig.base().replace(
-                predictor=PredictorSpec(kind=kind)
-            )
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[kind][workload] = point.ipc / baseline[workload]
-            result.aux[kind][workload] = (
-                point.last.stats.branch_mispredict_rate
-            )
-    return result
+    variants = [
+        (kind, CoreConfig.base().replace(predictor=PredictorSpec(kind=kind)))
+        for kind in kinds
+    ]
+    return _run_ablation(
+        "Ablation: branch direction predictor",
+        variants, workloads, settings, harness,
+        aux=lambda point: point.last.stats.branch_mispredict_rate,
+    )
 
 
 def run_rf_ports_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ("m88ksim", "swim"),
     ports: Sequence[int] = (16, 12, 8, 4),
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Register-file read ports on the base machine (§2.1).
 
@@ -175,26 +206,21 @@ def run_rf_ports_ablation(
     complexity".  This ablation measures the bandwidth side: how much
     performance a port-limited issue stage actually loses.
     """
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: register file read ports")
-    baseline: Dict[str, float] = {}
-    for count in ports:
-        variant = f"ports-{count}"
-        result.variants.append(variant)
-        result.rows[variant] = {}
-        for workload in workloads:
-            config = CoreConfig.base().replace(rf_read_ports=count)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[variant][workload] = point.ipc / baseline[workload]
-    return result
+    variants = [
+        (f"ports-{count}", CoreConfig.base().replace(rf_read_ports=count))
+        for count in ports
+    ]
+    return _run_ablation(
+        "Ablation: register file read ports",
+        variants, workloads, settings, harness,
+    )
 
 
 def run_wake_lead_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ("swim", "compress"),
     leads: Sequence[int] = (0, 3, 6, 12),
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """How aggressively missed-load dependents may wake (§2.2.2).
 
@@ -205,56 +231,43 @@ def run_wake_lead_ablation(
     would hide the issue traversal entirely.  This isolates the
     mechanism behind Figure 5.
     """
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: load-fill wake lead")
-    baseline: Dict[str, float] = {}
-    for lead in leads:
-        variant = f"lead-{lead}"
-        result.variants.append(variant)
-        result.rows[variant] = {}
-        for workload in workloads:
-            config = CoreConfig.base().replace(load_fill_wake_lead=lead)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[variant][workload] = point.ipc / baseline[workload]
-    return result
+    variants = [
+        (f"lead-{lead}", CoreConfig.base().replace(load_fill_wake_lead=lead))
+        for lead in leads
+    ]
+    return _run_ablation(
+        "Ablation: load-fill wake lead",
+        variants, workloads, settings, harness,
+    )
 
 
 def run_iq_size_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ("swim", "compress"),
     sizes: Sequence[int] = (32, 64, 128, 256),
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Issue-queue capacity vs the §2.2.2 retention pressure.
 
     Issued instructions hold IQ entries for a full loop delay; with a
     small queue that retention visibly throttles the window.
     """
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: issue queue capacity")
-    baseline: Dict[str, float] = {}
-    for size in sizes:
-        variant = f"iq-{size}"
-        result.variants.append(variant)
-        result.rows[variant] = {}
-        result.aux[variant] = {}
-        for workload in workloads:
-            config = CoreConfig.base().replace(iq_entries=size)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[variant][workload] = point.ipc / baseline[workload]
-            result.aux[variant][workload] = (
-                point.last.stats.avg_iq_issued_waiting
-            )
-    return result
+    variants = [
+        (f"iq-{size}", CoreConfig.base().replace(iq_entries=size))
+        for size in sizes
+    ]
+    return _run_ablation(
+        "Ablation: issue queue capacity",
+        variants, workloads, settings, harness,
+        aux=lambda point: point.last.stats.avg_iq_issued_waiting,
+    )
 
 
 def run_centralization_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ("swim", "compress"),
     rf_latency: int = 5,
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """One central register cache vs the distributed CRCs (§4).
 
@@ -265,31 +278,25 @@ def run_centralization_ablation(
     and a single cache grown to 128 entries (register-file-class
     capacity, which hardware could not read in one cycle).
     """
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: distributed vs central register cache")
-    variants: List[Tuple[str, DRAConfig]] = [
+    dras = [
         ("distributed-8x16", DRAConfig()),
         ("central-16", DRAConfig(centralized=True)),
         ("central-128", DRAConfig(centralized=True, crc_entries=128)),
     ]
-    baseline: Dict[str, float] = {}
-    for name, dra in variants:
-        result.variants.append(name)
-        result.rows[name] = {}
-        result.aux[name] = {}
-        for workload in workloads:
-            config = CoreConfig.with_dra(rf_latency, dra=dra)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[name][workload] = point.ipc / baseline[workload]
-            result.aux[name][workload] = point.last.stats.operand_miss_rate
-    return result
+    variants = [
+        (name, CoreConfig.with_dra(rf_latency, dra=dra)) for name, dra in dras
+    ]
+    return _run_ablation(
+        "Ablation: distributed vs central register cache",
+        variants, workloads, settings, harness,
+        aux=lambda point: point.last.stats.operand_miss_rate,
+    )
 
 
 def run_memdep_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ("compress", "swim"),
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Memory dependence loop management policies (paper Figure 2).
 
@@ -299,49 +306,35 @@ def run_memdep_ablation(
     """
     from repro.core.memdep import MemDepConfig, MemDepPolicy
 
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: memory dependence speculation")
     variants = [
-        ("predict", MemDepConfig(policy=MemDepPolicy.PREDICT)),
-        ("naive", MemDepConfig(policy=MemDepPolicy.NAIVE)),
-        ("conservative", MemDepConfig(policy=MemDepPolicy.CONSERVATIVE)),
-        ("disabled", None),
+        (name, CoreConfig.base().replace(memdep=memdep))
+        for name, memdep in (
+            ("predict", MemDepConfig(policy=MemDepPolicy.PREDICT)),
+            ("naive", MemDepConfig(policy=MemDepPolicy.NAIVE)),
+            ("conservative", MemDepConfig(policy=MemDepPolicy.CONSERVATIVE)),
+            ("disabled", None),
+        )
     ]
-    baseline: Dict[str, float] = {}
-    for name, memdep in variants:
-        result.variants.append(name)
-        result.rows[name] = {}
-        result.aux[name] = {}
-        for workload in workloads:
-            config = CoreConfig.base().replace(memdep=memdep)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[name][workload] = point.ipc / baseline[workload]
-            result.aux[name][workload] = float(
-                point.last.stats.memdep_traps
-            )
-    return result
+    return _run_ablation(
+        "Ablation: memory dependence speculation",
+        variants, workloads, settings, harness,
+        aux=lambda point: float(point.last.stats.memdep_traps),
+    )
 
 
 def run_slotting_ablation(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     rf_latency: int = 5,
+    harness: Optional[HarnessSettings] = None,
 ) -> AblationResult:
     """Dependence-based versus round-robin cluster slotting."""
-    settings = settings or ExperimentSettings()
-    result = AblationResult(title="Ablation: cluster slotting policy")
-    baseline: Dict[str, float] = {}
-    for slotting in ("dependence", "round_robin"):
-        result.variants.append(slotting)
-        result.rows[slotting] = {}
-        result.aux[slotting] = {}
-        for workload in workloads:
-            config = CoreConfig.with_dra(rf_latency).replace(slotting=slotting)
-            point = run_config(workload, config, settings)
-            if not baseline.get(workload):
-                baseline[workload] = point.ipc
-            result.rows[slotting][workload] = point.ipc / baseline[workload]
-            result.aux[slotting][workload] = point.last.stats.operand_miss_rate
-    return result
+    variants = [
+        (slotting, CoreConfig.with_dra(rf_latency).replace(slotting=slotting))
+        for slotting in ("dependence", "round_robin")
+    ]
+    return _run_ablation(
+        "Ablation: cluster slotting policy",
+        variants, workloads, settings, harness,
+        aux=lambda point: point.last.stats.operand_miss_rate,
+    )

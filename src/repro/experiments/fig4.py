@@ -13,7 +13,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_heading, format_table, percent
 from repro.core import CoreConfig
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    CellFailure,
+    ExperimentSettings,
+    HarnessSettings,
+    render_failure_report,
+    run_campaign,
+)
 from repro.workloads import ALL_WORKLOADS
 
 #: The paper's four (DEC->IQ, IQ->EX) points: 6, 10, 14, 18 total cycles.
@@ -24,11 +30,14 @@ PIPE_POINTS: Tuple[Tuple[int, int], ...] = ((3, 3), (5, 5), (7, 7), (9, 9))
 class Figure4Result:
     """Relative performance per workload per pipeline length."""
 
-    #: workload -> speedups relative to the shortest pipe (first = 1.0)
-    rows: Dict[str, List[float]] = field(default_factory=dict)
+    #: workload -> speedups relative to the shortest pipe (first = 1.0);
+    #: None marks a cell lost to a simulation failure
+    rows: Dict[str, List[Optional[float]]] = field(default_factory=dict)
     #: absolute IPC of the 6-cycle configuration per workload
     base_ipc: Dict[str, float] = field(default_factory=dict)
     points: Tuple[Tuple[int, int], ...] = PIPE_POINTS
+    #: cells that failed after retries (graceful degradation)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def loss_at_longest(self, workload: str) -> float:
         """Fractional loss at the 18-cycle point (positive = slower)."""
@@ -43,7 +52,7 @@ class Figure4Result:
             [name] + [percent(v) for v in values]
             for name, values in self.rows.items()
         ]
-        return (
+        text = (
             format_heading(
                 "Figure 4: speedup vs decode-to-execute length "
                 "(relative to 6 cycles)"
@@ -51,24 +60,38 @@ class Figure4Result:
             + "\n"
             + format_table(headers, rows)
         )
+        report = render_failure_report(self.failures)
+        return text + ("\n\n" + report if report else "")
 
 
 def run_figure4(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ALL_WORKLOADS,
+    harness: Optional[HarnessSettings] = None,
 ) -> Figure4Result:
     """Regenerate Figure 4."""
     settings = settings or ExperimentSettings()
     result = Figure4Result()
+    configs = {
+        point: CoreConfig.base().with_pipe(*point) for point in PIPE_POINTS
+    }
+    campaign = run_campaign(
+        [(w, c) for w in workloads for c in configs.values()],
+        settings,
+        harness,
+    )
+    result.failures = campaign.failures
     for workload in workloads:
-        speedups: List[float] = []
-        base_ipc: Optional[float] = None
-        for dec_iq, iq_ex in PIPE_POINTS:
-            config = CoreConfig.base().with_pipe(dec_iq, iq_ex)
-            point = run_config(workload, config, settings)
-            if base_ipc is None:
-                base_ipc = point.ipc
-            speedups.append(point.ipc / base_ipc)
-        result.rows[workload] = speedups
+        ipcs = [
+            point.ipc if point is not None else None
+            for point in (
+                campaign.point(workload, configs[p]) for p in PIPE_POINTS
+            )
+        ]
+        base_ipc = ipcs[0]
+        result.rows[workload] = [
+            ipc / base_ipc if ipc is not None and base_ipc else None
+            for ipc in ipcs
+        ]
         result.base_ipc[workload] = base_ipc or 0.0
     return result

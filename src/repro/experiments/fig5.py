@@ -14,7 +14,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_heading, format_table, percent
 from repro.core import CoreConfig
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    CellFailure,
+    ExperimentSettings,
+    HarnessSettings,
+    render_failure_report,
+    run_campaign,
+)
 from repro.workloads import ALL_WORKLOADS
 
 #: The paper's fixed-total configurations (X_Y with X + Y = 12).
@@ -25,9 +31,12 @@ BALANCE_POINTS: Tuple[Tuple[int, int], ...] = ((3, 9), (5, 7), (7, 5), (9, 3))
 class Figure5Result:
     """Relative performance per workload per pipeline balance."""
 
-    rows: Dict[str, List[float]] = field(default_factory=dict)
+    #: workload -> speedups relative to 3_9; None marks a failed cell
+    rows: Dict[str, List[Optional[float]]] = field(default_factory=dict)
     base_ipc: Dict[str, float] = field(default_factory=dict)
     points: Tuple[Tuple[int, int], ...] = BALANCE_POINTS
+    #: cells that failed after retries (graceful degradation)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def gain_at_best(self, workload: str) -> float:
         """Fractional gain of 9_3 over 3_9."""
@@ -40,7 +49,7 @@ class Figure5Result:
             [name] + [percent(v) for v in values]
             for name, values in self.rows.items()
         ]
-        return (
+        text = (
             format_heading(
                 "Figure 5: fixed 12-cycle DEC->EX, varying the X_Y split "
                 "(relative to 3_9)"
@@ -48,24 +57,38 @@ class Figure5Result:
             + "\n"
             + format_table(headers, rows)
         )
+        report = render_failure_report(self.failures)
+        return text + ("\n\n" + report if report else "")
 
 
 def run_figure5(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ALL_WORKLOADS,
+    harness: Optional[HarnessSettings] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5."""
     settings = settings or ExperimentSettings()
     result = Figure5Result()
+    configs = {
+        point: CoreConfig.base().with_pipe(*point) for point in BALANCE_POINTS
+    }
+    campaign = run_campaign(
+        [(w, c) for w in workloads for c in configs.values()],
+        settings,
+        harness,
+    )
+    result.failures = campaign.failures
     for workload in workloads:
-        speedups: List[float] = []
-        base_ipc: Optional[float] = None
-        for dec_iq, iq_ex in BALANCE_POINTS:
-            config = CoreConfig.base().with_pipe(dec_iq, iq_ex)
-            point = run_config(workload, config, settings)
-            if base_ipc is None:
-                base_ipc = point.ipc
-            speedups.append(point.ipc / base_ipc)
-        result.rows[workload] = speedups
+        ipcs = [
+            point.ipc if point is not None else None
+            for point in (
+                campaign.point(workload, configs[p]) for p in BALANCE_POINTS
+            )
+        ]
+        base_ipc = ipcs[0]
+        result.rows[workload] = [
+            ipc / base_ipc if ipc is not None and base_ipc else None
+            for ipc in ipcs
+        ]
         result.base_ipc[workload] = base_ipc or 0.0
     return result

@@ -16,7 +16,11 @@ from typing import Optional, Sequence
 
 from repro.analysis import EmpiricalCDF, format_heading, render_series
 from repro.core import CoreConfig
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    ExperimentSettings,
+    HarnessSettings,
+    run_config,
+)
 
 DEFAULT_WORKLOAD = "turb3d"
 
@@ -61,11 +65,16 @@ class Figure6Result:
 def run_figure6(
     settings: Optional[ExperimentSettings] = None,
     workload: str = DEFAULT_WORKLOAD,
+    harness: Optional[HarnessSettings] = None,
 ) -> Figure6Result:
-    """Regenerate Figure 6 on the base machine."""
+    """Regenerate Figure 6 on the base machine.
+
+    A single-cell figure: there is nothing to degrade to, so a cell
+    failure propagates as its classified :class:`~repro.errors.ReproError`.
+    """
     settings = settings or ExperimentSettings()
     config = CoreConfig.base()
-    point = run_config(workload, config, settings)
+    point = run_config(workload, config, settings, harness=harness)
     samples = []
     for result in point.results:
         samples.extend(result.stats.operand_gap_samples)

@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_heading, format_table, percent
 from repro.core import CoreConfig
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    CellFailure,
+    ExperimentSettings,
+    HarnessSettings,
+    render_failure_report,
+    run_campaign,
+)
 from repro.workloads import ALL_WORKLOADS
 
 #: The paper's three register-file read latencies.
@@ -31,11 +37,14 @@ RF_LATENCIES: Tuple[int, ...] = (3, 5, 7)
 class Figure8Result:
     """DRA-vs-base speedups per workload per register-file latency."""
 
-    #: workload -> [speedup at rf=3, rf=5, rf=7] (1.0 = no change)
-    rows: Dict[str, List[float]] = field(default_factory=dict)
+    #: workload -> [speedup at rf=3, rf=5, rf=7] (1.0 = no change);
+    #: None marks a comparison lost to a failed cell
+    rows: Dict[str, List[Optional[float]]] = field(default_factory=dict)
     #: workload -> [DRA operand miss rate at each rf latency]
-    miss_rates: Dict[str, List[float]] = field(default_factory=dict)
+    miss_rates: Dict[str, List[Optional[float]]] = field(default_factory=dict)
     rf_latencies: Tuple[int, ...] = RF_LATENCIES
+    #: cells that failed after retries (graceful degradation)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def speedup(self, workload: str, rf_latency: int) -> float:
         """Speedup of the DRA for one workload and rf latency."""
@@ -44,7 +53,11 @@ class Figure8Result:
     def best_gain(self, rf_latency: int) -> float:
         """The 'up to' number: max fractional gain at one rf latency."""
         index = self.rf_latencies.index(rf_latency)
-        return max(values[index] for values in self.rows.values()) - 1.0
+        return max(
+            values[index]
+            for values in self.rows.values()
+            if values[index] is not None
+        ) - 1.0
 
     def render(self) -> str:
         """The figure as a text table."""
@@ -56,29 +69,47 @@ class Figure8Result:
             [name] + [percent(v) for v in values]
             for name, values in self.rows.items()
         ]
-        return (
+        text = (
             format_heading("Figure 8: DRA speedup over the base architecture")
             + "\n"
             + format_table(headers, rows)
         )
+        report = render_failure_report(self.failures)
+        return text + ("\n\n" + report if report else "")
 
 
 def run_figure8(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ALL_WORKLOADS,
     rf_latencies: Tuple[int, ...] = RF_LATENCIES,
+    harness: Optional[HarnessSettings] = None,
 ) -> Figure8Result:
     """Regenerate Figure 8."""
     settings = settings or ExperimentSettings()
     result = Figure8Result(rf_latencies=rf_latencies)
+    base_configs = {rf: CoreConfig.base(rf) for rf in rf_latencies}
+    dra_configs = {rf: CoreConfig.with_dra(rf) for rf in rf_latencies}
+    pairs = [
+        (workload, config)
+        for workload in workloads
+        for rf in rf_latencies
+        for config in (base_configs[rf], dra_configs[rf])
+    ]
+    campaign = run_campaign(pairs, settings, harness)
+    result.failures = campaign.failures
     for workload in workloads:
-        speedups: List[float] = []
-        misses: List[float] = []
+        speedups: List[Optional[float]] = []
+        misses: List[Optional[float]] = []
         for rf in rf_latencies:
-            base = run_config(workload, CoreConfig.base(rf), settings)
-            dra = run_config(workload, CoreConfig.with_dra(rf), settings)
-            speedups.append(dra.ipc / base.ipc)
-            misses.append(dra.last.stats.operand_miss_rate)
+            base = campaign.point(workload, base_configs[rf])
+            dra = campaign.point(workload, dra_configs[rf])
+            if base is None or dra is None or base.ipc == 0:
+                speedups.append(None)
+            else:
+                speedups.append(dra.ipc / base.ipc)
+            misses.append(
+                dra.last.stats.operand_miss_rate if dra is not None else None
+            )
         result.rows[workload] = speedups
         result.miss_rates[workload] = misses
     return result

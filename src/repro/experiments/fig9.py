@@ -11,11 +11,17 @@ CRCs; miss rates are well under 1 % except apsi's ~1.5 %.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import format_heading, format_table, percent
 from repro.core import CoreConfig, OperandSource
-from repro.experiments.runner import ExperimentSettings, run_config
+from repro.experiments.runner import (
+    CellFailure,
+    ExperimentSettings,
+    HarnessSettings,
+    render_failure_report,
+    run_campaign,
+)
 from repro.workloads import ALL_WORKLOADS
 
 #: Register-file latency of the paper's Figure 9 machine (7_3 DRA).
@@ -26,9 +32,14 @@ DEFAULT_RF_LATENCY = 5
 class Figure9Result:
     """Operand source fractions per workload."""
 
-    #: workload -> {source: fraction}; fractions sum to 1
-    rows: Dict[str, Dict[OperandSource, float]] = field(default_factory=dict)
+    #: workload -> {source: fraction}; fractions sum to 1.  A workload
+    #: whose cell failed maps every source to None.
+    rows: Dict[str, Dict[OperandSource, Optional[float]]] = field(
+        default_factory=dict
+    )
     rf_latency: int = DEFAULT_RF_LATENCY
+    #: cells that failed after retries (graceful degradation)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def fraction(self, workload: str, source: OperandSource) -> float:
         """One cell of the figure."""
@@ -52,19 +63,30 @@ class Figure9Result:
             f"Figure 9: operand sources for the "
             f"{max(5, 2 + self.rf_latency)}_3 DRA configuration"
         )
-        return format_heading(title) + "\n" + format_table(headers, rows)
+        text = format_heading(title) + "\n" + format_table(headers, rows)
+        report = render_failure_report(self.failures)
+        return text + ("\n\n" + report if report else "")
 
 
 def run_figure9(
     settings: Optional[ExperimentSettings] = None,
     workloads: Sequence[str] = ALL_WORKLOADS,
     rf_latency: int = DEFAULT_RF_LATENCY,
+    harness: Optional[HarnessSettings] = None,
 ) -> Figure9Result:
     """Regenerate Figure 9."""
     settings = settings or ExperimentSettings()
     result = Figure9Result(rf_latency=rf_latency)
+    config = CoreConfig.with_dra(rf_latency)
+    campaign = run_campaign(
+        [(workload, config) for workload in workloads], settings, harness
+    )
+    result.failures = campaign.failures
     for workload in workloads:
-        point = run_config(workload, CoreConfig.with_dra(rf_latency), settings)
+        point = campaign.point(workload, config)
+        if point is None:
+            result.rows[workload] = {s: None for s in OperandSource}
+            continue
         totals: Dict[OperandSource, float] = {s: 0.0 for s in OperandSource}
         reads = 0
         for sim_result in point.results:

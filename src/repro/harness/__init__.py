@@ -1,0 +1,74 @@
+"""Fault-tolerant experiment harness.
+
+Campaign-scale experiment runs (the paper's figures and ablations are
+dozens to thousands of simulation cells) route through this package for
+process isolation, hang watchdogs, retry with capped backoff, persistent
+content-addressed caching with resume, and fault injection for testing
+the recovery paths themselves.  See DESIGN.md §"Experiment harness".
+"""
+
+from repro.errors import (
+    CellCrashError,
+    CellTimeoutError,
+    ConfigError,
+    HangSnapshot,
+    ReproError,
+    SimulationHangError,
+    TransientCellError,
+    WorkloadError,
+    is_retryable,
+)
+from repro.harness.cache import (
+    CACHE_DIR_ENV,
+    CACHE_VERSION,
+    ResultCache,
+    cell_key,
+    default_cache_dir,
+)
+from repro.harness.executor import (
+    Cell,
+    CellFailure,
+    CellOutcome,
+    HarnessSettings,
+    default_harness,
+    execute_cells,
+    run_cell,
+    set_default_harness,
+)
+from repro.harness.faults import (
+    FAULTS_ENV,
+    FaultSpec,
+    active_fault,
+    env_faults,
+    parse_faults,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "WorkloadError",
+    "SimulationHangError",
+    "CellTimeoutError",
+    "CellCrashError",
+    "TransientCellError",
+    "HangSnapshot",
+    "is_retryable",
+    "ResultCache",
+    "cell_key",
+    "default_cache_dir",
+    "CACHE_VERSION",
+    "CACHE_DIR_ENV",
+    "Cell",
+    "CellFailure",
+    "CellOutcome",
+    "HarnessSettings",
+    "default_harness",
+    "set_default_harness",
+    "execute_cells",
+    "run_cell",
+    "FaultSpec",
+    "parse_faults",
+    "env_faults",
+    "active_fault",
+    "FAULTS_ENV",
+]

@@ -1,0 +1,125 @@
+"""Persistent, content-addressed result cache.
+
+Every simulation cell — one (workload, :class:`~repro.core.CoreConfig`,
+:class:`~repro.experiments.runner.ExperimentSettings`, seed) tuple — is
+addressed by a stable SHA-256 digest of its full parameterisation, so a
+campaign's results survive process death and a re-run only executes the
+cells that are missing (the ``--resume`` workflow).
+
+Layout on disk::
+
+    <cache_dir>/
+        ab/
+            ab3f9c... .pkl     one pickled payload per cell
+
+Payloads are pickled dicts carrying a format version plus enough
+metadata (workload, config label, seed) to audit the cache with a shell
+one-liner.  A corrupt or version-mismatched entry is treated as a miss
+and quietly removed; the cache is an accelerator, never a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Bump when the payload layout (or anything feeding cell keys) changes
+#: incompatibly; old entries then read as misses.
+CACHE_VERSION = 1
+
+#: Environment variable consulted for a default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is configured explicitly."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "loopsim"
+
+
+def cell_key(workload: str, config: Any, settings: Any, seed: int) -> str:
+    """Stable content hash of one simulation cell.
+
+    ``CoreConfig`` and ``ExperimentSettings`` are frozen dataclasses, so
+    their ``repr`` is a complete, deterministic rendering of every field
+    (including nested sub-configs and enums) — exactly the property a
+    content address needs.  ``settings.seeds`` is deliberately excluded
+    via the explicit ``seed`` so a cell's identity does not depend on
+    which campaign requested it.
+    """
+    settings_repr = repr(settings).replace(repr(getattr(settings, "seeds", ())), "()")
+    text = "|".join(
+        (str(CACHE_VERSION), workload, repr(config), settings_repr, str(seed))
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-backed cell cache rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        """On-disk location of a cell's payload."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None on any kind of miss."""
+        path = self.path(key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt entry (truncated write, unpicklable across
+            # versions, ...): drop it and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload.get("result")
+
+    def put(self, key: str, result: Any, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "key": key, "result": result}
+        if meta:
+            payload.update(meta)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

@@ -1,0 +1,390 @@
+"""Fault-tolerant cell execution: isolation, watchdog, retries, cache.
+
+The unit of work is a :class:`Cell` — one (workload, config, settings,
+seed) simulation.  :func:`execute_cells` runs a batch of cells and
+*always returns*: every cell ends in a :class:`CellOutcome` carrying
+either a :class:`~repro.core.SimResult` or the classified error that
+defeated it, so campaigns degrade to partial results instead of
+aborting (see :mod:`repro.experiments.runner` for the campaign layer).
+
+Execution modes
+---------------
+* **inline** — the cell runs in this process.  No timeout protection,
+  zero overhead; the default for interactive single runs and the test
+  suite.
+* **process** — the cell runs in a forked worker with a wall-clock
+  watchdog; a hung worker is killed and reported as
+  :class:`~repro.errors.CellTimeoutError`, a dead one as
+  :class:`~repro.errors.CellCrashError`.
+
+``isolate="auto"`` picks process mode whenever a timeout or ``jobs > 1``
+asks for it.  Retryable failures (timeout, crash, transient) are retried
+``retries`` times with capped exponential backoff; deterministic ones
+(config/workload errors, simulation deadlocks) fail immediately.
+
+With a cache directory configured, finished cells are persisted through
+:class:`~repro.harness.cache.ResultCache` and later campaigns resume by
+re-executing only the missing cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    CellCrashError,
+    CellTimeoutError,
+    ConfigError,
+    HangSnapshot,
+    ReproError,
+    SimulationHangError,
+    TransientCellError,
+    WorkloadError,
+    is_retryable,
+)
+from repro.harness.cache import ResultCache, cell_key, default_cache_dir
+from repro.harness.faults import FaultSpec, active_fault, env_faults, trigger
+
+
+@dataclass(frozen=True)
+class HarnessSettings:
+    """How a campaign's cells are executed and recovered."""
+
+    #: Concurrent worker slots (process mode when > 1).
+    jobs: int = 1
+    #: Per-cell wall-clock budget in seconds (None = unbounded).
+    cell_timeout: Optional[float] = None
+    #: Re-runs granted to retryably-failed cells.
+    retries: int = 2
+    #: First backoff delay in seconds; doubles per retry.
+    backoff_base: float = 0.25
+    #: Backoff ceiling in seconds.
+    backoff_cap: float = 4.0
+    #: "auto" | "process" | "inline".
+    isolate: str = "auto"
+    #: Persistent cache root (None = in-memory memoisation only).
+    cache_dir: Optional[str] = None
+    #: Read previously cached cells (writes happen whenever cache_dir
+    #: is set; turning this off forces recomputation).
+    resume: bool = True
+    #: Programmatic fault injections (merged with $REPRO_FAULTS).
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ConfigError("retries cannot be negative")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ConfigError("cell timeout must be positive")
+        if self.isolate not in ("auto", "process", "inline"):
+            raise ConfigError(f"unknown isolation mode {self.isolate!r}")
+
+    @property
+    def uses_processes(self) -> bool:
+        """Whether cells run in worker subprocesses."""
+        if self.isolate == "process":
+            return True
+        if self.isolate == "inline":
+            return False
+        return self.jobs > 1 or self.cell_timeout is not None
+
+    def all_faults(self) -> Tuple[FaultSpec, ...]:
+        """Configured plus environment-specified faults."""
+        return self.faults + env_faults()
+
+    def replace(self, **changes) -> "HarnessSettings":
+        """A modified copy."""
+        return replace(self, **changes)
+
+
+_DEFAULT_HARNESS = HarnessSettings()
+
+
+def default_harness() -> HarnessSettings:
+    """The process-wide harness used when a caller passes None."""
+    return _DEFAULT_HARNESS
+
+
+def set_default_harness(settings: HarnessSettings) -> HarnessSettings:
+    """Install a new process-wide default harness; returns the old one."""
+    global _DEFAULT_HARNESS
+    previous = _DEFAULT_HARNESS
+    _DEFAULT_HARNESS = settings
+    return previous
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (workload, config, settings, seed) simulation."""
+
+    workload: str
+    config: Any  # CoreConfig (typed loosely to keep this module core-free)
+    settings: Any  # ExperimentSettings
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Content address of this cell in the persistent cache."""
+        return cell_key(self.workload, self.config, self.settings, self.seed)
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell identity for reports."""
+        return f"{self.workload}/{self.config.label}/seed{self.seed}"
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Terminal failure record for one cell (after retries)."""
+
+    workload: str
+    config_label: str
+    seed: int
+    kind: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        """One report line."""
+        return (
+            f"{self.workload}/{self.config_label}/seed{self.seed}: "
+            f"{self.kind} after {self.attempts} attempt(s): {self.message}"
+        )
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: a result, or a classified failure."""
+
+    cell: Cell
+    result: Optional[Any] = None  # SimResult on success
+    error: Optional[ReproError] = None
+    attempts: int = 0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def failure(self) -> CellFailure:
+        """This outcome as a failure record (requires ``not ok``)."""
+        assert self.error is not None
+        return CellFailure(
+            workload=self.cell.workload,
+            config_label=self.cell.config.label,
+            seed=self.cell.seed,
+            kind=type(self.error).__name__,
+            message=str(self.error),
+            attempts=self.attempts,
+        )
+
+
+# --------------------------------------------------------------------------
+# Cell execution
+# --------------------------------------------------------------------------
+
+def _simulate_cell(cell: Cell) -> Any:
+    """Run one cell's simulation in the current process."""
+    from repro.core.simulator import simulate
+
+    settings = cell.settings
+    return simulate(
+        cell.workload,
+        cell.config,
+        instructions=settings.instructions,
+        warmup=settings.warmup,
+        detailed_warmup=settings.detailed_warmup,
+        seed=cell.seed,
+    )
+
+
+def _encode_error(error: BaseException) -> Dict[str, Any]:
+    """A pipe-safe rendering of a worker-side exception."""
+    encoded: Dict[str, Any] = {
+        "kind": type(error).__name__ if isinstance(error, ReproError)
+        else "CellCrashError",
+        "message": str(error) if isinstance(error, ReproError)
+        else f"worker raised {type(error).__name__}: {error}",
+    }
+    snapshot = getattr(error, "snapshot", None)
+    if isinstance(snapshot, HangSnapshot):
+        encoded["snapshot"] = snapshot
+    return encoded
+
+
+_ERROR_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        ReproError, ConfigError, WorkloadError, SimulationHangError,
+        CellTimeoutError, CellCrashError, TransientCellError,
+    )
+}
+
+
+def _decode_error(encoded: Dict[str, Any]) -> ReproError:
+    """Rebuild a worker-side exception from its pipe rendering."""
+    cls = _ERROR_CLASSES.get(encoded["kind"], ReproError)
+    if cls is SimulationHangError:
+        return SimulationHangError(encoded["message"], encoded.get("snapshot"))
+    return cls(encoded["message"])
+
+
+def _worker_main(conn, cell: Cell, fault: Optional[FaultSpec]) -> None:
+    """Subprocess entry point: run one cell, report through ``conn``."""
+    try:
+        if fault is not None:
+            trigger(fault, isolated=True)
+        result = _simulate_cell(cell)
+        conn.send(("ok", result))
+    except BaseException as error:  # classified on the parent side
+        try:
+            conn.send(("error", _encode_error(error)))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Prefer fork (fast, Linux) but survive fork-less platforms."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _run_isolated(
+    cell: Cell,
+    fault: Optional[FaultSpec],
+    timeout: Optional[float],
+) -> Any:
+    """Run one cell attempt in a worker subprocess with a watchdog."""
+    ctx = _mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_worker_main, args=(child_conn, cell, fault), daemon=True
+    )
+    process.start()
+    child_conn.close()
+    try:
+        # poll() wakes on data *or* EOF (worker death), so a crash is
+        # noticed immediately rather than after the full timeout.
+        if not parent_conn.poll(timeout):
+            _kill(process)
+            raise CellTimeoutError(
+                f"cell {cell.label} exceeded {timeout:.1f}s and was killed",
+                timeout=timeout,
+            )
+        try:
+            status, payload = parent_conn.recv()
+        except EOFError:
+            process.join()
+            raise CellCrashError(
+                f"cell {cell.label} worker died "
+                f"(exit code {process.exitcode})",
+                exitcode=process.exitcode,
+            )
+        process.join()
+        if status == "ok":
+            return payload
+        raise _decode_error(payload)
+    finally:
+        parent_conn.close()
+        if process.is_alive():
+            _kill(process)
+
+
+def _kill(process) -> None:
+    """Terminate a worker, escalating to SIGKILL if it lingers."""
+    process.terminate()
+    process.join(5)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+def run_cell(
+    cell: Cell,
+    harness: Optional[HarnessSettings] = None,
+    cache: Optional[ResultCache] = None,
+) -> CellOutcome:
+    """Execute one cell with caching, isolation, watchdog and retries."""
+    harness = harness or default_harness()
+    if cache is None and harness.cache_dir is not None:
+        cache = ResultCache(harness.cache_dir)
+    key = cell.key
+    if cache is not None and harness.resume:
+        cached = cache.get(key)
+        if cached is not None:
+            return CellOutcome(cell=cell, result=cached, cached=True)
+    faults = harness.all_faults()
+    isolated = harness.uses_processes
+    attempts = 1 + harness.retries
+    error: Optional[ReproError] = None
+    for attempt in range(1, attempts + 1):
+        fault = active_fault(
+            faults, cell.workload, cell.config.label, cell.seed, attempt
+        )
+        try:
+            if isolated:
+                result = _run_isolated(cell, fault, harness.cell_timeout)
+            else:
+                if fault is not None:
+                    trigger(fault, isolated=False)
+                result = _simulate_cell(cell)
+        except ReproError as failure:
+            error = failure
+            if not is_retryable(failure) or attempt == attempts:
+                break
+            backoff = min(
+                harness.backoff_cap,
+                harness.backoff_base * (2 ** (attempt - 1)),
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            continue
+        except KeyError as failure:
+            # Unknown workload resolved inside an unisolated worker.
+            error = WorkloadError(str(failure))
+            break
+        if cache is not None:
+            cache.put(
+                key,
+                result,
+                meta={
+                    "workload": cell.workload,
+                    "config": cell.config.label,
+                    "seed": cell.seed,
+                },
+            )
+        return CellOutcome(cell=cell, result=result, attempts=attempt)
+    return CellOutcome(cell=cell, error=error, attempts=attempt)
+
+
+def execute_cells(
+    cells: Sequence[Cell],
+    harness: Optional[HarnessSettings] = None,
+) -> List[CellOutcome]:
+    """Execute a batch of cells, ``jobs`` at a time; never raises.
+
+    Outcomes are returned in input order.  Duplicate cells (same content
+    key) are executed once and share the outcome.
+    """
+    harness = harness or default_harness()
+    cache = ResultCache(harness.cache_dir) if harness.cache_dir else None
+    unique: Dict[str, Cell] = {}
+    for cell in cells:
+        unique.setdefault(cell.key, cell)
+    ordered = list(unique.values())
+    if harness.jobs == 1 or len(ordered) <= 1:
+        outcomes = [run_cell(cell, harness, cache) for cell in ordered]
+    else:
+        with ThreadPoolExecutor(max_workers=harness.jobs) as pool:
+            outcomes = list(
+                pool.map(lambda cell: run_cell(cell, harness, cache), ordered)
+            )
+    by_key = {outcome.cell.key: outcome for outcome in outcomes}
+    return [by_key[cell.key] for cell in cells]

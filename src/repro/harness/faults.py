@@ -1,0 +1,140 @@
+"""Fault injection for exercising the harness's own recovery paths.
+
+A :class:`FaultSpec` targets cells by workload, config label and seed
+and injects one of three failure modes into matching cells:
+
+* ``hang`` — the worker sleeps forever; the watchdog must kill it
+  (requires process isolation; the inline executor degrades it to a
+  transient error so a test run can never actually wedge).
+* ``crash`` — the worker process dies with ``os._exit`` (process mode)
+  or raises :class:`~repro.errors.CellCrashError` (inline mode).
+* ``transient`` — raises :class:`~repro.errors.TransientCellError`.
+
+``attempts`` bounds how many attempts the fault fires on: ``attempts=1``
+models a transient glitch (first try fails, the retry succeeds);
+a large value models a persistent failure the harness must give up on.
+
+Specs come from the ``REPRO_FAULTS`` environment variable (which also
+reaches worker subprocesses for free) or programmatically via
+``HarnessSettings.faults``.  The string format is ``;``-separated specs
+of ``kind|workload|config_label|seed|attempts`` where trailing fields
+may be omitted and ``*`` matches anything, e.g.::
+
+    REPRO_FAULTS="hang|swim|Base:5_5|0|1;crash|compress"
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import CellCrashError, ConfigError, TransientCellError
+
+#: Environment variable holding fault specs.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The injected-crash exit code (distinctive, for failure reports).
+CRASH_EXIT_CODE = 86
+
+KINDS = ("hang", "crash", "transient")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, targeted at matching cells."""
+
+    kind: str
+    workload: str = "*"
+    config_label: str = "*"
+    seed: str = "*"
+    #: Fire on attempt numbers <= this (1-based).
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.attempts < 1:
+            raise ConfigError("fault attempts must be >= 1")
+
+    def matches(self, workload: str, config_label: str, seed: int,
+                attempt: int) -> bool:
+        """Whether this fault fires for a cell on a given attempt."""
+        return (
+            attempt <= self.attempts
+            and self.workload in ("*", workload)
+            and self.config_label in ("*", config_label)
+            and self.seed in ("*", str(seed))
+        )
+
+    def encode(self) -> str:
+        """The spec in ``REPRO_FAULTS`` string form."""
+        return "|".join(
+            (self.kind, self.workload, self.config_label, self.seed,
+             str(self.attempts))
+        )
+
+
+def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS``-style spec string."""
+    specs = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        fields = chunk.split("|")
+        if len(fields) > 5:
+            raise ConfigError(f"malformed fault spec {chunk!r}")
+        kind, rest = fields[0], fields[1:]
+        kwargs = dict(zip(("workload", "config_label", "seed"), rest[:3]))
+        if len(rest) > 3:
+            try:
+                kwargs["attempts"] = int(rest[3])
+            except ValueError:
+                raise ConfigError(f"malformed fault attempts in {chunk!r}")
+        specs.append(FaultSpec(kind=kind, **kwargs))
+    return tuple(specs)
+
+
+def env_faults() -> Tuple[FaultSpec, ...]:
+    """Fault specs from the environment (empty when unset)."""
+    text = os.environ.get(FAULTS_ENV, "")
+    return parse_faults(text) if text else ()
+
+
+def active_fault(
+    faults: Sequence[FaultSpec],
+    workload: str,
+    config_label: str,
+    seed: int,
+    attempt: int,
+) -> Optional[FaultSpec]:
+    """The first configured fault matching a cell attempt, if any."""
+    for spec in faults:
+        if spec.matches(workload, config_label, seed, attempt):
+            return spec
+    return None
+
+
+def trigger(spec: FaultSpec, isolated: bool) -> None:
+    """Fire an injected fault.
+
+    ``isolated`` says whether we are inside a killable worker process;
+    only then may a hang actually hang or a crash actually kill the
+    interpreter.
+    """
+    detail = f"injected {spec.kind} fault ({spec.encode()})"
+    if spec.kind == "transient":
+        raise TransientCellError(detail)
+    if spec.kind == "crash":
+        if isolated:
+            os._exit(CRASH_EXIT_CODE)
+        raise CellCrashError(detail, exitcode=CRASH_EXIT_CODE)
+    # hang
+    if isolated:
+        while True:  # the watchdog will kill this process
+            time.sleep(3600)
+    raise TransientCellError(detail + " (degraded to transient: no isolation)")

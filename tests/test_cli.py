@@ -73,3 +73,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "m88ksim" in out
+
+
+class TestHarnessFlags:
+    def test_campaign_flags_parse(self):
+        args = build_parser().parse_args([
+            "fig4", "--jobs", "2", "--cell-timeout", "5",
+            "--resume", "--cache-dir", "/tmp/loopsim-cache",
+        ])
+        assert args.jobs == 2
+        assert args.cell_timeout == 5.0
+        assert args.resume
+        assert args.cache_dir == "/tmp/loopsim-cache"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.jobs == 1
+        assert args.cell_timeout is None
+        assert not args.resume
+        assert args.cache_dir is None
+
+
+class TestErrorHandling:
+    def test_unknown_workload_exits_2_with_valid_list(self, capsys):
+        assert main(["fig4", "--workloads", "doom3"]) == 2
+        err = capsys.readouterr().err
+        assert "doom3" in err
+        assert "valid workloads" in err
+        assert "swim" in err
+
+    def test_invalid_instruction_count_exits_2(self, capsys):
+        assert main(["run", "m88ksim", "--instructions", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_cached_figure_resumes_from_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "fig6", "--instructions", "600",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # The persistent cache now holds the cell; a fresh process-level
+        # memo must still reproduce the figure from disk.
+        from repro.experiments import runner as runner_mod
+        runner_mod._CACHE = runner_mod._RunCache()
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert any(tmp_path.glob("*/*.pkl"))

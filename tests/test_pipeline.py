@@ -273,3 +273,52 @@ class TestDTLB:
         )
         sim = run(profile, instructions=2000)
         assert sim.stats.dtlb_misses > 100
+
+
+class TestDeadlockDiagnostics:
+    def test_hang_raises_structured_error_with_snapshot(self, monkeypatch):
+        from repro.core import pipeline as pipeline_mod
+        from repro.errors import SimulationHangError
+
+        monkeypatch.setattr(pipeline_mod, "_DEADLOCK_WINDOW", 50)
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        # Wedge the machine: fetch never unblocks, so nothing ever
+        # retires and the deadlock detector must fire.
+        for thread in sim.threads:
+            thread.fetch_blocked_until = 10**9
+        with pytest.raises(SimulationHangError) as excinfo:
+            sim.run(100)
+        error = excinfo.value
+        assert "deadlock" in str(error)
+        # The structured raise stays a RuntimeError for old callers.
+        assert isinstance(error, RuntimeError)
+        snapshot = error.snapshot
+        assert snapshot is not None
+        assert snapshot.retired == 0
+        assert snapshot.cycle > snapshot.last_retire_cycle
+        assert set(snapshot.stage_occupancy) == {
+            "fetch/decode", "rename->IQ", "issue queue", "execute", "rob",
+        }
+        text = snapshot.describe()
+        assert "stage occupancy" in text
+        assert str(snapshot.cycle) in text
+
+    def test_snapshot_reports_oldest_inflight_instruction(self, monkeypatch):
+        from repro.core import pipeline as pipeline_mod
+        from repro.errors import SimulationHangError
+
+        monkeypatch.setattr(pipeline_mod, "_DEADLOCK_WINDOW", 500)
+        sim = Simulator(CoreConfig.base(), [quiet_profile()], seed=0)
+        # Let the pipeline fill and retire normally for a while...
+        sim.run(200)
+        # ...then freeze retirement while the front end keeps fetching.
+        monkeypatch.setattr(
+            pipeline_mod.Simulator, "_retire", lambda self, cycle: None
+        )
+        with pytest.raises(SimulationHangError) as excinfo:
+            sim.run(5_000)
+        snapshot = excinfo.value.snapshot
+        assert snapshot.inflight > 0
+        assert snapshot.stage_occupancy["rob"] > 0
+        assert snapshot.oldest_instruction is not None
+        assert "uid=" in snapshot.oldest_instruction
