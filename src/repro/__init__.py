@@ -46,6 +46,7 @@ from repro.loops import (
     build_ledger,
     loops_for_config,
 )
+from repro.obs import EventBus, MetricsCollector, MetricsRegistry
 from repro.presets import MACHINE_PRESETS, preset
 from repro.workloads import (
     ALL_WORKLOADS,
@@ -79,6 +80,9 @@ __all__ = [
     "loops_for_config",
     "build_ledger",
     "attribute_slowdown",
+    "EventBus",
+    "MetricsCollector",
+    "MetricsRegistry",
     "MACHINE_PRESETS",
     "preset",
     "ALL_WORKLOADS",

@@ -3,6 +3,8 @@
 Subcommands::
 
     loopsim run swim --dra --rf 5          one simulation, full stats
+    loopsim run swim --trace-out t.json    ... plus a Perfetto/JSONL trace
+    loopsim attribute swim                 measured per-loop cost breakdown
     loopsim fig4 [--workloads a,b] ...     regenerate a paper figure
     loopsim fig5 / fig6 / fig8 / fig9
     loopsim ablations                      recovery/CRC/FB/... studies
@@ -49,7 +51,17 @@ from repro.experiments import (
     run_slotting_ablation,
     run_wake_lead_ablation,
 )
-from repro.workloads import ALL_WORKLOADS, SPEC95_PROFILES, SMT_PAIRS
+from repro.workloads import (
+    ALL_WORKLOADS,
+    SMOKE_PROFILES,
+    SMOKE_WORKLOADS,
+    SPEC95_PROFILES,
+    SMT_PAIRS,
+)
+
+#: Names accepted by single-run subcommands (run/attribute/trace):
+#: the paper's 13 workloads plus the CI smoke workloads.
+RUNNABLE_WORKLOADS = ALL_WORKLOADS + SMOKE_WORKLOADS
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -117,15 +129,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_config(args: argparse.Namespace) -> CoreConfig:
     if args.dra:
         config = CoreConfig.with_dra(args.rf)
     else:
         config = CoreConfig.base(args.rf)
-    if args.recovery:
+    if getattr(args, "recovery", ""):
         config = config.replace(load_recovery=LoadRecovery(args.recovery))
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _run_config(args)
+    bus = None
+    jsonl = None
+    chrome = None
+    if args.trace_out:
+        from repro.obs import EventBus
+        from repro.obs.export import ChromeTraceExporter, JsonlExporter
+
+        bus = EventBus()
+        if args.trace_out.endswith(".jsonl"):
+            jsonl = JsonlExporter(bus, args.trace_out)
+        else:
+            chrome = ChromeTraceExporter(bus)
     result = simulate(
-        args.workload, config, instructions=args.instructions, seed=args.seed
+        args.workload, config, instructions=args.instructions,
+        seed=args.seed, obs=bus,
     )
     stats = result.stats
     print(result.describe())
@@ -136,6 +166,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         for source, fraction in stats.operand_source_fractions().items():
             print(f"  operand {source.value:18s} {fraction:12.4%}")
+    if jsonl is not None:
+        jsonl.close()
+        print(f"\nwrote {jsonl.events_written} events to {args.trace_out}")
+    elif chrome is not None:
+        count = chrome.write(args.trace_out)
+        print(
+            f"\nwrote {count} trace events to {args.trace_out} "
+            "(open in https://ui.perfetto.dev)"
+        )
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from repro.obs import EventBus, MetricsCollector
+    from repro.obs.attribution import LoopAttribution
+
+    config = _run_config(args)
+    bus = EventBus()
+    collector = MetricsCollector(bus)
+    attribution = LoopAttribution(bus, config)
+    result = simulate(
+        args.workload, config, instructions=args.instructions,
+        seed=args.seed, obs=bus,
+    )
+    collector.snapshot_into(result.stats)
+    report = attribution.report(
+        result.stats, workload=result.workload,
+        config_label=config.label,
+    )
+    print(report.render())
+    if args.verify:
+        mismatches = collector.verify_against(result.stats)
+        if mismatches:
+            print("\nevent/CoreStats mismatches:")
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print("\nevent stream reconciles with CoreStats counters")
     return 0
 
 
@@ -225,6 +293,9 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     print("\nSMT pairs:")
     for name, parts in SMT_PAIRS.items():
         print(f"  {name:18s} = {' + '.join(parts)}")
+    print("\nsmoke workloads (CI only, not in the paper's suite):")
+    for name, profile in SMOKE_PROFILES.items():
+        print(f"  {name:10s} {profile.description.strip().splitlines()[0]}")
     return 0
 
 
@@ -239,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one simulation")
-    run_parser.add_argument("workload", choices=ALL_WORKLOADS)
+    run_parser.add_argument("workload", choices=RUNNABLE_WORKLOADS)
     run_parser.add_argument("--dra", action="store_true",
                             help="use the DRA pipeline")
     run_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7),
@@ -249,7 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
                             help="load-miss recovery policy")
     run_parser.add_argument("--instructions", type=int, default=10_000)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--trace-out", default="", metavar="PATH",
+        help="write an event trace of the measured run: *.jsonl for "
+             "JSON-lines, anything else for Chrome trace-event format "
+             "(viewable in Perfetto)",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    attribute_parser = sub.add_parser(
+        "attribute",
+        help="measured per-loop cost attribution (delay x frequency x "
+             "mis-speculation -> cycles lost, lost IPC)",
+    )
+    attribute_parser.add_argument("workload", choices=RUNNABLE_WORKLOADS)
+    attribute_parser.add_argument("--dra", action="store_true",
+                                  help="use the DRA pipeline")
+    attribute_parser.add_argument("--rf", type=int, default=3,
+                                  choices=(3, 5, 7),
+                                  help="register-file read latency")
+    attribute_parser.add_argument("--instructions", type=int, default=10_000)
+    attribute_parser.add_argument("--seed", type=int, default=0)
+    attribute_parser.add_argument(
+        "--verify", action="store_true",
+        help="cross-check event-stream counts against CoreStats and "
+             "fail on any mismatch",
+    )
+    attribute_parser.set_defaults(func=_cmd_attribute)
 
     for name in ("fig4", "fig5", "fig6", "fig8", "fig9"):
         fig_parser = sub.add_parser(name, help=f"regenerate paper {name}")
@@ -275,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser = sub.add_parser(
         "trace", help="pipeview-style per-instruction timeline"
     )
-    trace_parser.add_argument("workload", choices=ALL_WORKLOADS)
+    trace_parser.add_argument("workload", choices=RUNNABLE_WORKLOADS)
     trace_parser.add_argument("--dra", action="store_true")
     trace_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7))
     trace_parser.add_argument("-n", "--instructions", type=int, default=32)

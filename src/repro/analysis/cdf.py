@@ -7,6 +7,7 @@ samples and this class turns them into the plotted curve.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import Iterable, List, Sequence, Tuple
 
@@ -27,11 +28,16 @@ class EmpiricalCDF:
         return bisect_right(self._samples, x) / len(self._samples)
 
     def quantile(self, q: float) -> int:
-        """Smallest x with at(x) >= q."""
+        """Smallest x with at(x) >= q.
+
+        The sorted sample at rank ceil(q*n) is the smallest value whose
+        cumulative fraction reaches q (``int(q*n)`` would sit one rank
+        low whenever q*n is not an integer).
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError("quantile must be in (0, 1]")
-        index = max(0, -(-int(q * len(self._samples)) // 1) - 1)
-        index = min(index, len(self._samples) - 1)
+        n = len(self._samples)
+        index = min(n - 1, max(0, math.ceil(q * n) - 1))
         return self._samples[index]
 
     @property

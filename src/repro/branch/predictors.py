@@ -168,6 +168,38 @@ class TournamentPredictor(DirectionPredictor):
         self.gshare.update(pc, taken)
 
 
+class ProbedPredictor(DirectionPredictor):
+    """Transparent tracing decorator around any direction predictor.
+
+    Emits a :class:`~repro.obs.events.PredictorEvent` per training
+    update, re-running the (pure) ``predict`` to pair the prediction
+    with the resolved direction.  Installed by
+    :meth:`~repro.core.pipeline.Simulator.attach_obs`; never present in
+    untraced runs.
+    """
+
+    def __init__(self, inner: DirectionPredictor):
+        self.inner = inner
+        self.bus = None
+        #: callable() -> current simulator cycle
+        self.clock = None
+
+    def predict(self, pc: int) -> bool:
+        return self.inner.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        if self.bus is not None:
+            from repro.obs.events import PredictorEvent
+
+            self.bus.emit(PredictorEvent(
+                cycle=self.clock() if self.clock is not None else 0,
+                pc=pc,
+                predicted=self.inner.predict(pc),
+                taken=taken,
+            ))
+        self.inner.update(pc, taken)
+
+
 @dataclass(frozen=True)
 class PredictorSpec:
     """Named predictor configuration used by :func:`make_predictor`."""

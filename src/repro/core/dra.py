@@ -28,6 +28,7 @@ from typing import List
 
 from repro.core.config import DRAConfig
 from repro.core.stats import CoreStats
+from repro.obs.events import CRCEvent
 
 
 class RegisterPreReadFilteringTable:
@@ -171,6 +172,17 @@ class DRAEngine:
             ClusterRegisterCache(config.crc_entries, stats)
             for _ in range(effective_clusters)
         ]
+        #: optional EventBus + cycle source (repro.obs); None normally
+        self.bus = None
+        self.clock = None
+
+    def _emit_crc(self, preg: int, cluster: int, action: str) -> None:
+        """CRC activity probe (no-op without a bus)."""
+        if self.bus is not None:
+            self.bus.emit(CRCEvent(
+                cycle=self.clock() if self.clock is not None else 0,
+                preg=preg, cluster=cluster, action=action,
+            ))
 
     # --- rename-time behaviour (§5.2) ------------------------------------------
 
@@ -196,7 +208,7 @@ class DRAEngine:
         insertion table still records outstanding consumers.
         """
         self.rpft.on_writeback(preg)
-        for table, crc in zip(self.tables, self.crcs):
+        for cluster, (table, crc) in enumerate(zip(self.tables, self.crcs)):
             count = table.count(preg)
             if count > 0:
                 if self.config.oracle_crc:
@@ -204,6 +216,7 @@ class DRAEngine:
                 else:
                     crc.insert(preg, consumers=count)
                 table.clear(preg)
+                self._emit_crc(preg, cluster, "insert")
 
     # --- allocation-time behaviour (§5.5) ------------------------------------------------
 
@@ -212,7 +225,9 @@ class DRAEngine:
         self.rpft.on_allocate(preg)
         for table in self.tables:
             table.clear(preg)
-        for crc in self.crcs:
+        for cluster, crc in enumerate(self.crcs):
+            if self.bus is not None and crc.contains(preg):
+                self._emit_crc(preg, cluster, "invalidate")
             crc.invalidate(preg)
 
     # --- execute-time behaviour -----------------------------------------------------------
@@ -229,4 +244,5 @@ class DRAEngine:
             # served one outstanding consumer (the near-oracle policy
             # preferentially evicts exhausted entries)
             crc.note_read(preg)
+        self._emit_crc(preg, self._cluster_of(cluster), "hit" if hit else "miss")
         return hit

@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.core.config import CoreConfig
 from repro.core.regfile import PhysRegFile
 from repro.isa.instructions import DynInst
+from repro.obs.events import IQInsertEvent, IssueEvent
 
 
 class IssueQueue:
@@ -43,6 +44,8 @@ class IssueQueue:
         self._memdep_blocked = None
         #: issue opportunities lost to register-file port limits (§2.1)
         self.port_stalls = 0
+        #: optional EventBus (repro.obs); None in normal runs
+        self.bus = None
 
     def set_memdep_gate(self, gate) -> None:
         """Install the memory-dependence hold check for wait-bit loads."""
@@ -63,6 +66,10 @@ class IssueQueue:
         self.count += 1
         inst.insert_cycle = cycle
         self._push_unissued(inst)
+        if self.bus is not None:
+            self.bus.emit(IQInsertEvent(
+                cycle=cycle, uid=inst.uid, thread=inst.thread
+            ))
 
     def _push_unissued(self, inst: DynInst) -> None:
         """Add to the cluster's unissued pool keeping age (uid) order."""
@@ -154,6 +161,11 @@ class IssueQueue:
             chosen.issue_count += 1
             self.issued_waiting += 1
             issued.append(chosen)
+            if self.bus is not None:
+                self.bus.emit(IssueEvent(
+                    cycle=cycle, uid=chosen.uid, thread=chosen.thread,
+                    epoch=chosen.issue_count,
+                ))
         return issued
 
     # --- introspection -------------------------------------------------------------

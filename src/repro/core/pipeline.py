@@ -56,6 +56,20 @@ from repro.core.stats import (
 )
 from repro.isa import DynInst, MicroOp, OpClass
 from repro.memory import MemoryHierarchy
+from repro.obs.events import (
+    BranchOutcomeEvent,
+    CompleteEvent,
+    ConfirmEvent,
+    CycleEvent,
+    ExecuteEvent,
+    FetchEvent,
+    LoadResolvedEvent,
+    OperandEvent,
+    ReissueEvent,
+    RenameEvent,
+    RetireEvent,
+    SquashEvent,
+)
 from repro.smt import choose_fetch_thread
 from repro.workloads import SyntheticTraceGenerator, WorkloadProfile
 
@@ -159,6 +173,9 @@ class Simulator:
         #: optional callable(inst) invoked as each instruction retires
         #: (used by the pipetrace tooling; None in normal runs)
         self.retire_hook = None
+        #: optional EventBus (repro.obs); every probe site guards with a
+        #: single ``is None`` test, so detached runs pay nothing
+        self.obs = None
         self.threads: List[_ThreadState] = []
         for tid, profile in enumerate(profiles):
             generator = SyntheticTraceGenerator(
@@ -179,6 +196,31 @@ class Simulator:
             if config.memdep is not None:
                 thread.store_queue = StoreQueue(config.memdep.store_queue_entries)
             self.threads.append(thread)
+
+    # ------------------------------------------------------------- observability
+
+    def attach_obs(self, bus) -> None:
+        """Attach an :class:`~repro.obs.bus.EventBus` to every probe point.
+
+        Wires the pipeline's own probes plus the issue queue, the DRA
+        structures, and (via :class:`~repro.branch.predictors.ProbedPredictor`)
+        the direction predictor.  Pass ``None`` to detach everything and
+        return the machine to its zero-overhead state.
+        """
+        from repro.branch.predictors import ProbedPredictor
+
+        self.obs = bus
+        self.iq.bus = bus
+        if self.dra is not None:
+            self.dra.bus = bus
+            self.dra.clock = (lambda: self.cycle) if bus is not None else None
+        if bus is not None:
+            if not isinstance(self.predictor, ProbedPredictor):
+                self.predictor = ProbedPredictor(self.predictor)
+            self.predictor.bus = bus
+            self.predictor.clock = lambda: self.cycle
+        elif isinstance(self.predictor, ProbedPredictor):
+            self.predictor = self.predictor.inner
 
     # ------------------------------------------------------------------ events
 
@@ -211,6 +253,10 @@ class Simulator:
         inst.in_iq = False
         self.iq.release(inst)
         self.threads[inst.thread].iq_count -= 1
+        if self.obs is not None:
+            self.obs.emit(ConfirmEvent(
+                cycle=self.cycle, uid=inst.uid, thread=inst.thread
+            ))
 
     def _ev_reissue(self, inst: DynInst, epoch: int) -> None:
         """IQ notified of a mis-speculated execution: ready the reissue."""
@@ -272,7 +318,7 @@ class Simulator:
             return
         thread = self.threads[store.thread]
         self.stats.memdep_traps += 1
-        self._flush_from(thread, boundary_uid, cycle)
+        self._flush_from(thread, boundary_uid, cycle, reason="memdep_trap")
 
     # ------------------------------------------------------------------- tick
 
@@ -291,6 +337,15 @@ class Simulator:
         self.stats.cycles += 1
         self.stats.iq_occupancy_sum += self.iq.count
         self.stats.iq_issued_waiting_sum += self.iq.issued_waiting
+        if self.obs is not None:
+            self.obs.emit(CycleEvent(
+                cycle=cycle,
+                branch_stall=any(
+                    t.waiting_branch is not None for t in self.threads
+                ),
+                iq_full=not self.iq.has_space(),
+                rob_full=self._inflight >= self.config.rob_entries,
+            ))
         self.cycle += 1
 
     # ------------------------------------------------------------------ retire
@@ -318,6 +373,10 @@ class Simulator:
                     self.regfile.free(inst.prev_dst_preg)
                 thread.stats.retired += 1
                 budget -= 1
+                if self.obs is not None:
+                    self.obs.emit(RetireEvent(
+                        cycle=cycle, uid=inst.uid, thread=inst.thread
+                    ))
                 if self.retire_hook is not None:
                     self.retire_hook(inst)
 
@@ -328,32 +387,49 @@ class Simulator:
             if inst.squashed or inst.executed:
                 continue
             inst.exec_start_cycle = cycle
-            if not self._operands_valid(inst, cycle):
-                if self.dra is not None and self.dra.config.shadow_fb_decrement:
-                    self._shadow_fb_reads(inst, cycle)
-                self._schedule(
-                    cycle + self.config.iq_feedback_delay,
-                    ("reissue", inst, inst.issue_count),
-                )
-                continue
-            if self.dra is not None and not self._locate_operands(inst, cycle):
+            fault = self._operand_fault(inst, cycle)
+            if fault is None and self.dra is not None \
+                    and not self._locate_operands(inst, cycle):
+                fault = ReissueCause.OPERAND_MISS
                 self.stats.reissues[ReissueCause.OPERAND_MISS] += 1
                 self._frontend_stall_until = max(
                     self._frontend_stall_until,
                     cycle + self.config.dra.frontend_stall,
                 )
+            if fault is not None:
+                if fault is not ReissueCause.OPERAND_MISS \
+                        and self.dra is not None \
+                        and self.dra.config.shadow_fb_decrement:
+                    self._shadow_fb_reads(inst, cycle)
+                if self.obs is not None:
+                    self.obs.emit(ExecuteEvent(
+                        cycle=cycle, uid=inst.uid, thread=inst.thread,
+                        epoch=inst.issue_count, ok=False,
+                    ))
+                    self.obs.emit(ReissueEvent(
+                        cycle=cycle, uid=inst.uid, thread=inst.thread,
+                        cause=fault.value,
+                    ))
                 self._schedule(
                     cycle + self.config.iq_feedback_delay,
                     ("reissue", inst, inst.issue_count),
                 )
                 continue
+            if self.obs is not None:
+                self.obs.emit(ExecuteEvent(
+                    cycle=cycle, uid=inst.uid, thread=inst.thread,
+                    epoch=inst.issue_count, ok=True,
+                ))
             self._complete(inst, cycle)
 
-    def _operands_valid(self, inst: DynInst, cycle: int) -> bool:
+    def _operand_fault(
+        self, inst: DynInst, cycle: int
+    ) -> Optional[ReissueCause]:
         """Ground-truth check: was every source value actually computed?
 
-        A failure here is a mis-speculation of the load resolution loop
-        (directly, or transitively through an invalidated producer).
+        Returns the reissue cause on failure — a mis-speculation of the
+        load resolution loop (directly, or transitively through an
+        invalidated producer) — or ``None`` when all operands are valid.
         """
         avail = self.regfile.avail
         for preg in inst.src_pregs:
@@ -365,11 +441,16 @@ class Simulator:
                 else:
                     cause = ReissueCause.DEPENDENT_INVALID
                 self.stats.reissues[cause] += 1
-                return False
+                return cause
         if self.dra is None:
-            for _ in inst.src_pregs:
+            for preg in inst.src_pregs:
                 self.stats.operand_reads[OperandSource.REGFILE] += 1
-        return True
+                if self.obs is not None:
+                    self.obs.emit(OperandEvent(
+                        cycle=cycle, uid=inst.uid, thread=inst.thread,
+                        preg=preg, source=OperandSource.REGFILE.value,
+                    ))
+        return None
 
     def _shadow_fb_reads(self, inst: DynInst, cycle: int) -> None:
         """Forwarding-buffer reads performed by a killed (shadow) issue.
@@ -400,7 +481,7 @@ class Simulator:
         ok = True
         for idx, preg in enumerate(inst.src_pregs):
             if inst.preread[idx]:
-                self._count_operand(inst, idx, OperandSource.PREREAD)
+                self._count_operand(inst, idx, OperandSource.PREREAD, cycle)
                 continue
             if inst.payload_valid[idx]:
                 # recovered into the payload after an earlier miss;
@@ -408,14 +489,14 @@ class Simulator:
                 continue
             if self.fb.holds(preg, cycle):
                 dra.on_forward_read(preg, inst.cluster)
-                self._count_operand(inst, idx, OperandSource.FORWARD)
+                self._count_operand(inst, idx, OperandSource.FORWARD, cycle)
                 continue
             if dra.crc_lookup(preg, inst.cluster):
-                self._count_operand(inst, idx, OperandSource.CRC)
+                self._count_operand(inst, idx, OperandSource.CRC, cycle)
                 continue
             # operand miss: fetch from the register file into the payload
             ok = False
-            self._count_operand(inst, idx, OperandSource.MISS, force=True)
+            self._count_operand(inst, idx, OperandSource.MISS, cycle, force=True)
             self.stats.operand_miss_events += 1
             inst.payload_valid[idx] = True
             inst.min_reissue_cycle = max(
@@ -425,13 +506,23 @@ class Simulator:
         return ok
 
     def _count_operand(
-        self, inst: DynInst, idx: int, source: OperandSource, force: bool = False
+        self,
+        inst: DynInst,
+        idx: int,
+        source: OperandSource,
+        cycle: int,
+        force: bool = False,
     ) -> None:
         """Classify an operand read once per operand (Figure 9)."""
         if inst.operand_counted[idx] and not force:
             return
         if not inst.operand_counted[idx]:
             self.stats.operand_reads[source] += 1
+            if self.obs is not None:
+                self.obs.emit(OperandEvent(
+                    cycle=cycle, uid=inst.uid, thread=inst.thread,
+                    preg=inst.src_pregs[idx], source=source.value,
+                ))
         inst.operand_counted[idx] = True
 
     def _complete(self, inst: DynInst, cycle: int) -> None:
@@ -446,6 +537,21 @@ class Simulator:
         dst = inst.dst_preg
         avail_time = cycle + latency
         inst.complete_cycle = avail_time
+        if self.obs is not None:
+            self.obs.emit(CompleteEvent(
+                cycle=cycle, uid=inst.uid, thread=inst.thread,
+                avail_cycle=avail_time,
+            ))
+            if inst.is_load:
+                self.obs.emit(LoadResolvedEvent(
+                    cycle=cycle, uid=inst.uid, thread=inst.thread,
+                    hit=self._load_as_predicted(inst),
+                    speculated=(
+                        config.load_recovery is not LoadRecovery.STALL
+                        and dst is not None
+                    ),
+                    latency=latency,
+                ))
         if dst is not None:
             self.regfile.avail[dst] = avail_time
             self._schedule(
@@ -619,6 +725,10 @@ class Simulator:
     def _do_rename(self, thread: _ThreadState, inst: DynInst, cycle: int) -> None:
         config = self.config
         inst.rename_cycle = cycle
+        if self.obs is not None:
+            self.obs.emit(RenameEvent(
+                cycle=cycle, uid=inst.uid, thread=inst.thread
+            ))
         for arch in inst.op.real_srcs:
             inst.src_pregs.append(thread.rename_map.lookup(arch))
         inst.cluster = self._slot_cluster(inst)
@@ -710,6 +820,11 @@ class Simulator:
                     thread.last_taken_pc = None
             thread.fetch_pipe.append((ready_base + extra, inst))
             thread.stats.fetched += 1
+            if self.obs is not None:
+                self.obs.emit(FetchEvent(
+                    cycle=cycle, uid=inst.uid, thread=inst.thread,
+                    pc=op.pc, opclass=op.opclass.name.lower(),
+                ))
             if op.opclass.is_control and self._fetch_control(thread, inst, cycle):
                 if op.taken and not inst.mispredicted:
                     thread.last_taken_pc = op.pc
@@ -748,6 +863,8 @@ class Simulator:
             if predicted != op.taken:
                 self.stats.cond_mispredicts += 1
                 inst.mispredicted = True
+            self._emit_branch_outcome(inst, "cond", cycle)
+            if inst.mispredicted:
                 thread.waiting_branch = inst
                 return True
             if predicted:
@@ -757,6 +874,7 @@ class Simulator:
         if opclass is OpClass.CALL:
             thread.ras.push(op.pc + 4)
             self._btb_redirect(thread, op, cycle)
+            self._emit_branch_outcome(inst, "call", cycle)
             return True
         if opclass is OpClass.RETURN:
             predicted_target = thread.ras.pop()
@@ -764,10 +882,24 @@ class Simulator:
                 self.stats.ras_mispredicts += 1
                 inst.mispredicted = True
                 thread.waiting_branch = inst
+            self._emit_branch_outcome(inst, "return", cycle)
             return True
         # direct jump
         self._btb_redirect(thread, op, cycle)
+        self._emit_branch_outcome(inst, "jump", cycle)
         return True
+
+    def _emit_branch_outcome(
+        self, inst: DynInst, flavor: str, cycle: int
+    ) -> None:
+        """Branch-resolution-loop probe (no-op without a bus)."""
+        if self.obs is None:
+            return
+        self.obs.emit(BranchOutcomeEvent(
+            cycle=cycle, uid=inst.uid, thread=inst.thread,
+            pc=inst.op.pc, flavor=flavor, taken=inst.op.taken,
+            mispredicted=inst.mispredicted,
+        ))
 
     def _btb_redirect(self, thread: _ThreadState, op: MicroOp, cycle: int) -> None:
         """Taken-path redirect through the BTB; a miss costs a bubble."""
@@ -805,13 +937,21 @@ class Simulator:
     # ------------------------------------------------------------------- flush
 
     def _flush_younger(
-        self, thread: _ThreadState, boundary: DynInst, cycle: int
+        self,
+        thread: _ThreadState,
+        boundary: DynInst,
+        cycle: int,
+        reason: str = "load_refetch",
     ) -> None:
         """Squash every instruction of ``thread`` younger than ``boundary``."""
-        self._flush_from(thread, boundary.uid, cycle)
+        self._flush_from(thread, boundary.uid, cycle, reason)
 
     def _flush_from(
-        self, thread: _ThreadState, boundary_uid: int, cycle: int
+        self,
+        thread: _ThreadState,
+        boundary_uid: int,
+        cycle: int,
+        reason: str = "load_refetch",
     ) -> None:
         """Squash every instruction of ``thread`` with uid > boundary_uid.
 
@@ -834,10 +974,18 @@ class Simulator:
                 inst.in_iq = False
                 thread.iq_count -= 1
             self.stats.squashed_instructions += 1
+            if self.obs is not None:
+                self.obs.emit(SquashEvent(
+                    cycle=cycle, uid=inst.uid, thread=inst.thread,
+                    reason=reason,
+                ))
         self._inflight -= len(victims)
         thread.insert_pipe = deque(
             item for item in thread.insert_pipe if not item[1].squashed
         )
+        # fetch-pipe instructions are dropped and transparently
+        # re-fetched; they never entered the OoO machine, so no
+        # SquashEvent (keeps event counts reconcilable with CoreStats)
         fetch_insts = [item[1] for item in thread.fetch_pipe]
         for inst in fetch_insts:
             inst.squashed = True

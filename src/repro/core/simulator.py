@@ -66,6 +66,7 @@ def simulate(
     detailed_warmup: int = DEFAULT_DETAILED_WARMUP,
     seed: int = 0,
     max_cycles: Optional[int] = None,
+    obs=None,
 ) -> SimResult:
     """Simulate ``workload`` on ``config`` and return the result.
 
@@ -88,6 +89,10 @@ def simulate(
         Workload generation seed.
     max_cycles:
         Optional hard cycle cap (for tests).
+    obs:
+        Optional :class:`~repro.obs.bus.EventBus` attached to every
+        probe point for the detailed-simulation phase (after functional
+        warmup, so traces are not flooded with warmup training events).
     """
     if instructions < 1:
         raise ConfigError(
@@ -117,5 +122,7 @@ def simulate(
     simulator = Simulator(config, profiles, seed=seed)
     if warmup:
         simulator.functional_warmup(warmup)
+    if obs is not None:
+        simulator.attach_obs(obs)
     simulator.run(instructions, warmup=detailed_warmup, max_cycles=max_cycles)
     return SimResult(workload=name, config=config, stats=simulator.stats, seed=seed)

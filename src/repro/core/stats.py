@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class OperandSource(enum.Enum):
@@ -108,6 +108,11 @@ class CoreStats:
     # --- squashes (refetch recovery / traps) ----------------------------------
     squashed_instructions: int = 0
     load_refetch_flushes: int = 0
+
+    # --- observability ---------------------------------------------------------
+    #: flattened metrics-registry snapshot (see repro.obs.metrics);
+    #: populated only when a MetricsCollector was attached to the run
+    obs_snapshot: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if not self.threads:

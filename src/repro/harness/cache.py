@@ -30,7 +30,8 @@ from typing import Any, Dict, Optional, Union
 
 #: Bump when the payload layout (or anything feeding cell keys) changes
 #: incompatibly; old entries then read as misses.
-CACHE_VERSION = 1
+#: v2: CoreStats grew ``obs_snapshot`` — v1 pickles lack the attribute.
+CACHE_VERSION = 2
 
 #: Environment variable consulted for a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -72,6 +73,33 @@ class ResultCache:
     def path(self, key: str) -> Path:
         """On-disk location of a cell's payload."""
         return self.root / key[:2] / f"{key}.pkl"
+
+    def metrics_path(self, key: str) -> Path:
+        """On-disk location of a cell's JSON metric snapshot."""
+        return self.root / key[:2] / f"{key}.metrics.json"
+
+    def put_metrics(self, key: str, snapshot: Dict[str, Any]) -> None:
+        """Persist a JSON metric snapshot beside the cell's payload.
+
+        The snapshot is auditable with shell tools (``jq``) without
+        unpickling anything; failures to write are the caller's to
+        swallow — the cache is an accelerator, never a dependency.
+        """
+        import json
+
+        path = self.metrics_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def get(self, key: str) -> Optional[Any]:
         """The cached result for ``key``, or None on any kind of miss."""

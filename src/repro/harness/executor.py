@@ -306,6 +306,16 @@ def _kill(process) -> None:
         process.join()
 
 
+def _put_metrics_snapshot(cache: ResultCache, key: str, result: Any) -> None:
+    """Persist the cell's JSON metric snapshot; best-effort only."""
+    from repro.obs.export import result_snapshot
+
+    try:
+        cache.put_metrics(key, result_snapshot(result))
+    except OSError:
+        pass  # the snapshot is an audit aid, never worth failing a cell
+
+
 def run_cell(
     cell: Cell,
     harness: Optional[HarnessSettings] = None,
@@ -360,6 +370,7 @@ def run_cell(
                     "seed": cell.seed,
                 },
             )
+            _put_metrics_snapshot(cache, key, result)
         return CellOutcome(cell=cell, result=result, attempts=attempt)
     return CellOutcome(cell=cell, error=error, attempts=attempt)
 

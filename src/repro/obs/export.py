@@ -1,0 +1,297 @@
+"""Trace and snapshot exporters.
+
+Three output paths:
+
+* :class:`JsonlExporter` — every event as one JSON object per line;
+  greppable, streamable, and the stable interchange format for external
+  tooling.
+* :class:`ChromeTraceExporter` — per-instruction timeline slices in the
+  Chrome trace-event format, viewable in Perfetto (https://ui.perfetto.dev)
+  or ``chrome://tracing``: one process per hardware thread, instructions
+  packed into non-overlapping lanes, nested slices for the in-flight
+  (issue -> result) window, instant markers for reissues, squashes and
+  mispredicts.
+* :func:`result_snapshot` — a JSON-ready metric snapshot of one finished
+  :class:`~repro.core.SimResult`; the harness persists it beside the
+  result cache so campaign metrics survive without unpickling cells.
+
+Trace timestamps are simulator cycles written into the format's
+microsecond field (1 cycle == 1 "us"), so viewer rulers read directly in
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    BranchOutcomeEvent,
+    CompleteEvent,
+    Event,
+    FetchEvent,
+    IssueEvent,
+    ReissueEvent,
+    RetireEvent,
+    SquashEvent,
+)
+
+
+class JsonlExporter:
+    """Stream every event to a file as JSON lines.
+
+    Accepts a path or an open text file; closing is idempotent and the
+    class works as a context manager.
+    """
+
+    def __init__(self, bus: EventBus, sink: Union[str, IO[str]]):
+        if isinstance(sink, str):
+            self._file: Optional[IO[str]] = open(sink, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self.events_written = 0
+        bus.subscribe(None, self._write)
+
+    def _write(self, event: Event) -> None:
+        if self._file is None:
+            return
+        json.dump(event.to_dict(), self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and (if owned) close the underlying file."""
+        if self._file is None:
+            return
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _InstRecord:
+    """Accumulated timeline of one dynamic instruction."""
+
+    __slots__ = (
+        "uid", "thread", "pc", "opclass", "fetch", "issues",
+        "complete", "retire", "squash", "reissues", "mispredicted",
+    )
+
+    def __init__(self, uid: int, thread: int, pc: int, opclass: str, fetch: int):
+        self.uid = uid
+        self.thread = thread
+        self.pc = pc
+        self.opclass = opclass
+        self.fetch = fetch
+        self.issues: List[int] = []
+        self.complete = -1
+        self.retire = -1
+        self.squash = -1
+        self.reissues: List[int] = []
+        self.mispredicted = False
+
+    @property
+    def end(self) -> int:
+        """Last known timestamp (slice end for unfinished records)."""
+        candidates = [self.fetch, self.complete, self.retire, self.squash]
+        candidates.extend(self.issues)
+        return max(candidates)
+
+
+class ChromeTraceExporter:
+    """Build a Chrome trace-event file from the event stream.
+
+    Records accumulate in memory (one small record per fetched
+    instruction), so this exporter is meant for windows of thousands to
+    hundreds of thousands of instructions — the scale at which a human
+    reads a timeline — not for unbounded runs.
+    """
+
+    def __init__(self, bus: EventBus):
+        self._insts: Dict[int, _InstRecord] = {}
+        bus.subscribe(FetchEvent, self._on_fetch)
+        bus.subscribe(IssueEvent, self._on_issue)
+        bus.subscribe(ReissueEvent, self._on_reissue)
+        bus.subscribe(CompleteEvent, self._on_complete)
+        bus.subscribe(RetireEvent, self._on_retire)
+        bus.subscribe(SquashEvent, self._on_squash)
+        bus.subscribe(BranchOutcomeEvent, self._on_branch)
+
+    # --- accumulation -----------------------------------------------------
+
+    def _on_fetch(self, event: FetchEvent) -> None:
+        self._insts[event.uid] = _InstRecord(
+            event.uid, event.thread, event.pc, event.opclass, event.cycle
+        )
+
+    def _record(self, uid: int) -> Optional[_InstRecord]:
+        return self._insts.get(uid)
+
+    def _on_issue(self, event: IssueEvent) -> None:
+        record = self._record(event.uid)
+        if record is not None:
+            record.issues.append(event.cycle)
+
+    def _on_reissue(self, event: ReissueEvent) -> None:
+        record = self._record(event.uid)
+        if record is not None:
+            record.reissues.append(event.cycle)
+
+    def _on_complete(self, event: CompleteEvent) -> None:
+        record = self._record(event.uid)
+        if record is not None:
+            record.complete = event.avail_cycle
+
+    def _on_retire(self, event: RetireEvent) -> None:
+        record = self._record(event.uid)
+        if record is not None:
+            record.retire = event.cycle
+
+    def _on_squash(self, event: SquashEvent) -> None:
+        record = self._record(event.uid)
+        if record is not None:
+            record.squash = event.cycle
+
+    def _on_branch(self, event: BranchOutcomeEvent) -> None:
+        record = self._record(event.uid)
+        if record is not None and event.mispredicted:
+            record.mispredicted = True
+
+    # --- output -----------------------------------------------------------
+
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """The Chrome ``traceEvents`` array."""
+        events: List[Dict[str, Any]] = []
+        #: (thread, lane) -> last occupied cycle, for lane packing.
+        lane_busy: Dict[int, List[int]] = {}
+        threads = sorted({r.thread for r in self._insts.values()})
+        for thread in threads:
+            events.append(
+                {
+                    "name": "process_name", "ph": "M", "pid": thread, "tid": 0,
+                    "args": {"name": f"hw thread {thread}"},
+                }
+            )
+        for record in sorted(self._insts.values(), key=lambda r: r.uid):
+            lanes = lane_busy.setdefault(record.thread, [])
+            end = max(record.end, record.fetch)
+            for lane, busy_until in enumerate(lanes):
+                if busy_until < record.fetch:
+                    break
+            else:
+                lanes.append(-1)
+                lane = len(lanes) - 1
+            lanes[lane] = end
+            name = f"{record.opclass} #{record.uid}"
+            if record.squash >= 0:
+                name += " (squashed)"
+            events.append(
+                {
+                    "name": name,
+                    "cat": "inst",
+                    "ph": "X",
+                    "pid": record.thread,
+                    "tid": lane,
+                    "ts": record.fetch,
+                    "dur": max(1, end - record.fetch),
+                    "args": {
+                        "uid": record.uid,
+                        "pc": f"{record.pc:#x}",
+                        "issues": len(record.issues),
+                        "mispredicted": record.mispredicted,
+                    },
+                }
+            )
+            if record.issues:
+                first_issue = record.issues[0]
+                window_end = record.complete if record.complete >= 0 else end
+                if window_end > first_issue:
+                    events.append(
+                        {
+                            "name": "in-flight",
+                            "cat": "issue",
+                            "ph": "X",
+                            "pid": record.thread,
+                            "tid": lane,
+                            "ts": first_issue,
+                            "dur": window_end - first_issue,
+                            "args": {"issues": record.issues},
+                        }
+                    )
+            for cycle in record.reissues:
+                events.append(
+                    {
+                        "name": "reissue", "cat": "loop", "ph": "i", "s": "t",
+                        "pid": record.thread, "tid": lane, "ts": cycle,
+                    }
+                )
+            if record.squash >= 0:
+                events.append(
+                    {
+                        "name": "squash", "cat": "loop", "ph": "i", "s": "t",
+                        "pid": record.thread, "tid": lane, "ts": record.squash,
+                    }
+                )
+        return events
+
+    def write(self, path: str) -> int:
+        """Write the trace file; returns the number of trace events."""
+        events = self.trace_events()
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "1 trace us == 1 simulated cycle"},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return len(events)
+
+
+def result_snapshot(result) -> Dict[str, Any]:
+    """A JSON-ready metric snapshot of one SimResult.
+
+    Bundles the headline summary, the operand-source breakdown (DRA
+    runs), the analytical loop ledger, and — when the run carried a
+    metrics collector — the registry snapshot stored on
+    ``stats.obs_snapshot``.  Used by the harness to persist per-cell
+    metrics beside the result cache.
+    """
+    from repro.loops.analytical import build_ledger
+
+    stats = result.stats
+    snapshot: Dict[str, Any] = {
+        "workload": result.workload,
+        "config": result.config.label,
+        "seed": result.seed,
+        "ipc": result.ipc,
+        "summary": stats.summary(),
+        "loops": [
+            {
+                "name": entry.loop.name,
+                "loop_delay": entry.loop.loop_delay,
+                "occurrences": entry.occurrences,
+                "misspeculations": entry.misspeculations,
+                "misspeculation_rate": entry.misspeculation_rate,
+                "min_cycles_lost": entry.min_cycles_lost,
+            }
+            for entry in build_ledger(result.config, stats).entries
+        ],
+    }
+    if result.config.dra is not None:
+        snapshot["operand_sources"] = {
+            source.value: fraction
+            for source, fraction in stats.operand_source_fractions().items()
+        }
+    obs_snapshot = getattr(stats, "obs_snapshot", None)
+    if obs_snapshot:
+        snapshot["metrics"] = obs_snapshot
+    return snapshot

@@ -22,6 +22,7 @@ from repro.workloads.profiles import (
     DependencyModel,
     MemoryModel,
     WorkloadProfile,
+    SMOKE_PROFILES,
     SPEC95_PROFILES,
 )
 from repro.workloads.generator import SyntheticTraceGenerator
@@ -29,6 +30,7 @@ from repro.workloads.suites import (
     ALL_WORKLOADS,
     FP_WORKLOADS,
     INT_WORKLOADS,
+    SMOKE_WORKLOADS,
     SMT_PAIRS,
     workload_profiles,
 )
@@ -39,11 +41,13 @@ __all__ = [
     "MemoryModel",
     "DependencyModel",
     "WorkloadProfile",
+    "SMOKE_PROFILES",
     "SPEC95_PROFILES",
     "SyntheticTraceGenerator",
     "ALL_WORKLOADS",
     "INT_WORKLOADS",
     "FP_WORKLOADS",
+    "SMOKE_WORKLOADS",
     "SMT_PAIRS",
     "workload_profiles",
 ]

@@ -225,6 +225,11 @@ def _fp_mix(branch: float, load: float, store: float, fp: float) -> InstructionM
 #: The ten single-threaded Spec95 stand-ins keyed by name.
 SPEC95_PROFILES: Dict[str, WorkloadProfile] = {}
 
+#: Tiny synthetic workloads for CI smoke runs and quick local checks.
+#: Kept out of SPEC95_PROFILES so figure campaigns over the paper's
+#: workload list never pick one up by accident.
+SMOKE_PROFILES: Dict[str, WorkloadProfile] = {}
+
 
 def _register(profile: WorkloadProfile) -> WorkloadProfile:
     SPEC95_PROFILES[profile.name] = profile
@@ -471,4 +476,30 @@ _register(
             two_src_frac=0.72,
         ),
     )
+)
+
+# ---------------------------------------------------------------------------
+# Smoke workloads (CI / quick local checks; not part of the paper's suite)
+# ---------------------------------------------------------------------------
+
+SMOKE_PROFILES["int_test"] = WorkloadProfile(
+    name="int_test",
+    description=(
+        "Small, fast integer mix exercising every loop a little: mostly "
+        "hot memory with a thin warm slice, moderately predictable "
+        "branches.  For CI smoke runs only."
+    ),
+    mix=_int_mix(branch=0.15, load=0.22, store=0.08),
+    branches=BranchModel(
+        num_sites=32,
+        loop_site_frac=0.6,
+        loop_trip=8,
+        random_bias_lo=0.75,
+        random_bias_hi=0.95,
+    ),
+    memory=MemoryModel(
+        hot_frac=0.90, warm_frac=0.07, cold_frac=0.005, stream_frac=0.025,
+        hot_bytes=8 * KB, warm_bytes=128 * KB,
+    ),
+    deps=DependencyModel(strands=6, chain_frac=0.3, near_mean=5.0),
 )

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.workloads.profiles import SPEC95_PROFILES, WorkloadProfile
+from repro.workloads.profiles import (
+    SMOKE_PROFILES,
+    SPEC95_PROFILES,
+    WorkloadProfile,
+)
 
 INT_WORKLOADS: Tuple[str, ...] = ("compress", "gcc", "go", "m88ksim")
 
@@ -30,17 +34,25 @@ ALL_WORKLOADS: Tuple[str, ...] = (
     INT_WORKLOADS + FP_WORKLOADS + tuple(SMT_PAIRS)
 )
 
+#: Resolvable smoke workloads (CI runs; never in ALL_WORKLOADS).
+SMOKE_WORKLOADS: Tuple[str, ...] = tuple(SMOKE_PROFILES)
+
 
 def workload_profiles(name: str) -> List[WorkloadProfile]:
     """Resolve a workload name to one profile per hardware thread.
 
     Single benchmarks return a one-element list; SMT pair names return
-    two profiles.  Raises ``KeyError`` for unknown names.
+    two profiles.  Smoke workloads (``int_test``) resolve too, though
+    they are not part of the paper's suite.  Raises ``KeyError`` for
+    unknown names.
     """
     if name in SPEC95_PROFILES:
         return [SPEC95_PROFILES[name]]
     if name in SMT_PAIRS:
         return [SPEC95_PROFILES[part] for part in SMT_PAIRS[name]]
+    if name in SMOKE_PROFILES:
+        return [SMOKE_PROFILES[name]]
     raise KeyError(
-        f"unknown workload {name!r}; known: {', '.join(ALL_WORKLOADS)}"
+        f"unknown workload {name!r}; known: "
+        f"{', '.join(ALL_WORKLOADS + SMOKE_WORKLOADS)}"
     )

@@ -74,6 +74,31 @@ class TestCDF:
         with pytest.raises(ValueError):
             cdf.quantile(1.5)
 
+    def test_quantile_fractional_rank(self):
+        # q*n falls between integers: the q-quantile is the smallest
+        # sample x with CDF(x) >= q, i.e. index ceil(q*n)-1.
+        cdf = EmpiricalCDF([10, 20, 30, 40, 50])
+        assert cdf.quantile(0.5) == 30  # ceil(2.5)-1 = 2
+        assert cdf.quantile(0.30) == 20  # ceil(1.5)-1 = 1
+        assert cdf.quantile(0.61) == 40  # ceil(3.05)-1 = 3
+
+    def test_quantile_exact_rank_boundaries(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        # q*n exactly integral: index q*n - 1, not q*n.
+        assert cdf.quantile(0.25) == 1
+        assert cdf.quantile(0.5) == 2
+        assert cdf.quantile(0.75) == 3
+        assert cdf.quantile(1.0) == 4
+
+    def test_quantile_single_sample(self):
+        cdf = EmpiricalCDF([42])
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert cdf.quantile(q) == 42
+
+    def test_quantile_tiny_q_returns_minimum(self):
+        cdf = EmpiricalCDF([5, 6, 7])
+        assert cdf.quantile(1e-9) == 5
+
 
 class TestReport:
     def test_format_table_alignment(self):
