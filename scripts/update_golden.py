@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate the pinned golden numbers in tests/golden/.
+
+Run after an *intentional* timing-model change, then review the diff:
+
+    PYTHONPATH=src python scripts/update_golden.py
+
+Every entry is exact integer state (cycles, retired, reissues) from a
+small deterministic run, so any unintended timing change shows up as a
+test failure with a reviewable diff instead of a silent drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.config import CoreConfig  # noqa: E402
+from repro.core.simulator import simulate  # noqa: E402
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "tests", "golden",
+    "ipc_numbers.json",
+)
+
+#: The run geometry every golden cell uses.  Small on purpose: the
+#: point is exact-integer regression pinning, not statistics.
+RUN = {
+    "workload": "int_test",
+    "instructions": 2_000,
+    "warmup": 20_000,
+    "detailed_warmup": 400,
+    "seed": 0,
+}
+
+#: RF read latencies pinned per machine family (§6's 3/5/7 sweep).
+RF_LATENCIES = (3, 5, 7)
+
+
+def golden_cells():
+    for rf in RF_LATENCIES:
+        yield f"base_rf{rf}", CoreConfig.base(rf)
+        yield f"dra_rf{rf}", CoreConfig.with_dra(rf)
+
+
+def collect() -> dict:
+    cells = {}
+    for label, config in golden_cells():
+        stats = simulate(
+            RUN["workload"],
+            config,
+            instructions=RUN["instructions"],
+            warmup=RUN["warmup"],
+            detailed_warmup=RUN["detailed_warmup"],
+            seed=RUN["seed"],
+        ).stats
+        cells[label] = {
+            "pipe": config.label,
+            "cycles": stats.cycles,
+            "retired": stats.retired,
+            "total_reissues": stats.total_reissues,
+        }
+        print(f"{label:12s} {config.label:>8s} cycles={stats.cycles} "
+              f"retired={stats.retired} reissues={stats.total_reissues}")
+    return {"run": RUN, "cells": cells}
+
+
+def main() -> int:
+    golden = collect()
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {os.path.relpath(GOLDEN_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

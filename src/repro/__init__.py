@@ -26,6 +26,7 @@ from repro.errors import (
     ReproError,
     SimulationHangError,
     TransientCellError,
+    VerificationError,
     WorkloadError,
 )
 from repro.core import (
@@ -66,6 +67,7 @@ __all__ = [
     "CellTimeoutError",
     "CellCrashError",
     "TransientCellError",
+    "VerificationError",
     "CoreConfig",
     "DRAConfig",
     "LoadRecovery",

@@ -11,6 +11,10 @@ Subcommands::
     loopsim loops [--dra|--machine NAME]   the §1 loop inventory
     loopsim trace swim -n 24               pipeview-style timeline
     loopsim workloads                      list the Spec95 stand-ins
+    loopsim verify                         self-checking preset sweep
+    loopsim verify --differential          cross-config consistency laws
+    loopsim verify --fuzz --budget 60      fuzz random configs/workloads
+    loopsim verify --replay case.json      re-run a fuzz reproducer
 
 Figure and ablation campaigns run on the fault-tolerant harness
 (:mod:`repro.harness`): ``--jobs N`` runs cells in parallel worker
@@ -80,6 +84,7 @@ def _harness(args: argparse.Namespace) -> HarnessSettings:
         jobs=getattr(args, "jobs", 1),
         cell_timeout=getattr(args, "cell_timeout", None),
         cache_dir=cache_dir,
+        verify=getattr(args, "verify", False),
     )
 
 
@@ -126,6 +131,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="persistent result cache location (implies caching; "
              "default with --resume: $REPRO_CACHE_DIR or "
              "~/.cache/loopsim)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run every cell under the differential verifier (golden "
+             "retire model + invariant checkers); violations fail the "
+             "cell",
     )
 
 
@@ -286,6 +297,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        fuzz,
+        replay,
+        run_differential_checks,
+        verify_presets,
+    )
+
+    if args.replay:
+        failure = replay(args.replay)
+        if failure is None:
+            print(f"{args.replay}: the recorded failure no longer occurs")
+            return 0
+        print(f"{args.replay}: still failing ({failure.kind})")
+        print(f"  {failure.detail}")
+        for violation in failure.violations[1:6]:
+            print(f"  [{violation['checker']}] {violation['message']}")
+        return 1
+
+    if args.fuzz:
+        result = fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            inject=args.inject or None,
+            out_path=args.out or None,
+            log=lambda message: print(f"fuzz: {message}"),
+        )
+        print(result.describe())
+        if result.found:
+            # a planted bug being found is the expected (passing) outcome
+            return 0 if args.inject else 1
+        return 1 if args.inject else 0
+
+    failed = False
+    print(
+        f"verification sweep: workload={args.workload} "
+        f"instructions={args.instructions} seed={args.seed}"
+    )
+    for entry in verify_presets(
+        workload=args.workload,
+        instructions=args.instructions,
+        seed=args.seed,
+    ):
+        print(entry.describe())
+        failed = failed or not entry.ok
+    if args.differential:
+        print("\ndifferential checks:")
+        for check in run_differential_checks(
+            workload=args.workload, seed=args.seed
+        ):
+            print(check.describe())
+            failed = failed or not check.passed
+    return 1 if failed else 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     print("single-threaded workloads:")
     for name, profile in SPEC95_PROFILES.items():
@@ -368,6 +434,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     workloads_parser = sub.add_parser("workloads", help="list workloads")
     workloads_parser.set_defaults(func=_cmd_workloads)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="differential verification: golden model + invariant "
+             "checkers over every preset, cross-config laws, fuzzing",
+    )
+    verify_parser.add_argument(
+        "--workload", default="int_test", choices=RUNNABLE_WORKLOADS,
+        metavar="WORKLOAD",
+        help="workload for the sweep/differential runs "
+             "(default int_test)",
+    )
+    verify_parser.add_argument(
+        "--instructions", type=int, default=2_000,
+        help="instructions per verified run (default 2000)",
+    )
+    verify_parser.add_argument("--seed", type=int, default=0)
+    verify_parser.add_argument(
+        "--differential", "-d", action="store_true",
+        help="also run the cross-configuration consistency laws",
+    )
+    verify_parser.add_argument(
+        "--fuzz", action="store_true",
+        help="fuzz random configurations/workloads instead of the sweep",
+    )
+    verify_parser.add_argument(
+        "--budget", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock budget for --fuzz (default 30)",
+    )
+    verify_parser.add_argument(
+        "--inject", default="", choices=("", "skip-reissue", "stale-crc"),
+        help="plant a known bug; with --fuzz, finding it becomes the "
+             "passing outcome (checker self-test)",
+    )
+    verify_parser.add_argument(
+        "--out", default="", metavar="PATH",
+        help="write the shrunk fuzz reproducer JSON here",
+    )
+    verify_parser.add_argument(
+        "--replay", default="", metavar="PATH",
+        help="re-run a fuzz reproducer instead of sweeping",
+    )
+    verify_parser.set_defaults(func=_cmd_verify)
 
     trace_parser = sub.add_parser(
         "trace", help="pipeview-style per-instruction timeline"

@@ -24,7 +24,7 @@ conditions: FIFO capacity eviction and consumer-counter saturation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import DRAConfig
 from repro.core.stats import CoreStats
@@ -103,36 +103,45 @@ class ClusterRegisterCache:
         no recency update — replacement is strictly FIFO)."""
         return preg in self._fifo
 
-    def insert(self, preg: int, consumers: int = 1) -> None:
-        """Insert ``preg``, evicting the oldest entry if full."""
+    def insert(self, preg: int, consumers: int = 1) -> Optional[int]:
+        """Insert ``preg``, evicting the oldest entry if full.
+
+        Returns the evicted physical register, if any, so the engine can
+        report the replacement.
+        """
         if preg in self._fifo:
             self._fifo[preg] += consumers
-            return
+            return None
+        evicted = None
         if len(self._fifo) >= self.entries:
-            self._fifo.popitem(last=False)
+            evicted, _ = self._fifo.popitem(last=False)
             self._stats.crc_evictions += 1
         self._fifo[preg] = consumers
         self._stats.crc_insertions += 1
+        return evicted
 
-    def insert_oracle(self, preg: int, consumers: int = 1) -> None:
+    def insert_oracle(self, preg: int, consumers: int = 1) -> Optional[int]:
         """Near-oracle insert: prefer evicting entries whose consumers
         have all been served (the paper's 'almost perfect knowledge'
-        comparison point)."""
+        comparison point).  Returns the evicted register, if any."""
         if preg in self._fifo:
             self._fifo[preg] += consumers
-            return
+            return None
+        evicted = None
         if len(self._fifo) >= self.entries:
             exhausted = next(
                 (p for p, remaining in self._fifo.items() if remaining <= 0),
                 None,
             )
             if exhausted is not None:
+                evicted = exhausted
                 del self._fifo[exhausted]
             else:
-                self._fifo.popitem(last=False)
+                evicted, _ = self._fifo.popitem(last=False)
             self._stats.crc_evictions += 1
         self._fifo[preg] = consumers
         self._stats.crc_insertions += 1
+        return evicted
 
     def note_read(self, preg: int) -> None:
         """Record that one outstanding consumer has been served."""
@@ -212,10 +221,12 @@ class DRAEngine:
             count = table.count(preg)
             if count > 0:
                 if self.config.oracle_crc:
-                    crc.insert_oracle(preg, consumers=count)
+                    evicted = crc.insert_oracle(preg, consumers=count)
                 else:
-                    crc.insert(preg, consumers=count)
+                    evicted = crc.insert(preg, consumers=count)
                 table.clear(preg)
+                if evicted is not None:
+                    self._emit_crc(evicted, cluster, "evict")
                 self._emit_crc(preg, cluster, "insert")
 
     # --- allocation-time behaviour (§5.5) ------------------------------------------------

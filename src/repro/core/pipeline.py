@@ -61,6 +61,7 @@ from repro.obs.events import (
     CompleteEvent,
     ConfirmEvent,
     CycleEvent,
+    DropEvent,
     ExecuteEvent,
     FetchEvent,
     LoadResolvedEvent,
@@ -69,6 +70,7 @@ from repro.obs.events import (
     RenameEvent,
     RetireEvent,
     SquashEvent,
+    WritebackEvent,
 )
 from repro.smt import choose_fetch_thread
 from repro.workloads import SyntheticTraceGenerator, WorkloadProfile
@@ -285,6 +287,8 @@ class Simulator:
         if producer.squashed:
             return
         self.regfile.writeback[preg] = cycle
+        if self.obs is not None:
+            self.obs.emit(WritebackEvent(cycle=cycle, preg=preg))
         if self.dra is not None:
             self.dra.on_writeback(preg)
 
@@ -725,10 +729,6 @@ class Simulator:
     def _do_rename(self, thread: _ThreadState, inst: DynInst, cycle: int) -> None:
         config = self.config
         inst.rename_cycle = cycle
-        if self.obs is not None:
-            self.obs.emit(RenameEvent(
-                cycle=cycle, uid=inst.uid, thread=inst.thread
-            ))
         for arch in inst.op.real_srcs:
             inst.src_pregs.append(thread.rename_map.lookup(arch))
         inst.cluster = self._slot_cluster(inst)
@@ -765,6 +765,19 @@ class Simulator:
         thread.insert_pipe.append(
             (cycle + config.dec_iq - config.rename_offset, inst)
         )
+        if self.obs is not None:
+            # emitted after the rename completed so the event carries the
+            # full outcome (pregs, pre-read decisions) for checkers
+            self.obs.emit(RenameEvent(
+                cycle=cycle, uid=inst.uid, thread=inst.thread,
+                arch_dst=-1 if inst.op.dst is None else inst.op.dst,
+                dst_preg=-1 if inst.dst_preg is None else inst.dst_preg,
+                prev_dst_preg=(
+                    -1 if inst.prev_dst_preg is None else inst.prev_dst_preg
+                ),
+                src_pregs=tuple(inst.src_pregs),
+                preread=tuple(inst.preread),
+            ))
 
     def _slot_cluster(self, inst: DynInst) -> int:
         """Assign the functional-unit cluster at decode (§2).
@@ -985,10 +998,16 @@ class Simulator:
         )
         # fetch-pipe instructions are dropped and transparently
         # re-fetched; they never entered the OoO machine, so no
-        # SquashEvent (keeps event counts reconcilable with CoreStats)
+        # SquashEvent (keeps event counts reconcilable with CoreStats) —
+        # a DropEvent records the discard so the instruction ledger
+        # still conserves exactly
         fetch_insts = [item[1] for item in thread.fetch_pipe]
         for inst in fetch_insts:
             inst.squashed = True
+            if self.obs is not None:
+                self.obs.emit(DropEvent(
+                    cycle=cycle, uid=inst.uid, thread=inst.thread
+                ))
         thread.fetch_pipe.clear()
         replay_ops = [inst.op for inst in reversed(victims)]
         replay_ops.extend(inst.op for inst in fetch_insts)

@@ -14,7 +14,7 @@ from typing import List, Optional, Union
 from repro.core.config import CoreConfig
 from repro.core.pipeline import Simulator
 from repro.core.stats import CoreStats
-from repro.errors import ConfigError, WorkloadError
+from repro.errors import ConfigError
 from repro.workloads import WorkloadProfile, workload_profiles
 
 #: Default measurement window, sized so loop phenomena reach steady
@@ -67,6 +67,7 @@ def simulate(
     seed: int = 0,
     max_cycles: Optional[int] = None,
     obs=None,
+    verifier=None,
 ) -> SimResult:
     """Simulate ``workload`` on ``config`` and return the result.
 
@@ -93,6 +94,14 @@ def simulate(
         Optional :class:`~repro.obs.bus.EventBus` attached to every
         probe point for the detailed-simulation phase (after functional
         warmup, so traces are not flooded with warmup training events).
+    verifier:
+        Optional :class:`~repro.verify.Verifier` (or any object with the
+        same ``attach(simulator, bus)`` / ``finish(stats)`` protocol).
+        Attached alongside ``obs`` — on the same bus when one is given,
+        on a private bus otherwise — and finalised after the run, so the
+        returned result has been checked against the golden model and
+        the event-stream invariants.  Inspect ``verifier.violations``
+        (or call ``verifier.raise_if_failed()``) afterwards.
     """
     if instructions < 1:
         raise ConfigError(
@@ -108,12 +117,8 @@ def simulate(
         config = CoreConfig.base()
     if isinstance(workload, str):
         name = workload
-        try:
-            profiles = workload_profiles(workload)
-        except KeyError as error:
-            # WorkloadError subclasses KeyError, so existing callers
-            # written against the raw raise keep working.
-            raise WorkloadError(error.args[0]) from None
+        # raises WorkloadError (WorkloadKeyError shim) for unknown names
+        profiles = workload_profiles(workload)
     else:
         profiles = list(workload)
         name = "+".join(p.name for p in profiles)
@@ -122,7 +127,15 @@ def simulate(
     simulator = Simulator(config, profiles, seed=seed)
     if warmup:
         simulator.functional_warmup(warmup)
+    if verifier is not None:
+        if obs is None:
+            from repro.obs.bus import EventBus
+
+            obs = EventBus()
+        verifier.attach(simulator, obs)
     if obs is not None:
         simulator.attach_obs(obs)
     simulator.run(instructions, warmup=detailed_warmup, max_cycles=max_cycles)
+    if verifier is not None:
+        verifier.finish(simulator.stats)
     return SimResult(workload=name, config=config, stats=simulator.stats, seed=seed)

@@ -11,10 +11,18 @@ of :class:`ReproError`; the subclass encodes the *recovery policy*:
 * :class:`CellTimeoutError` / :class:`CellCrashError` /
   :class:`TransientCellError` — the worker process hung, died, or hit an
   explicitly transient fault.  Retryable with backoff.
+* :class:`VerificationError` — the verification layer
+  (:mod:`repro.verify`) found invariant violations in an otherwise
+  successful run.  Deterministic, never retried.
 
-``ConfigError`` doubles as a ``ValueError`` and ``WorkloadError`` as a
-``KeyError`` so call sites written against the built-in exceptions keep
-working.
+``ConfigError`` doubles as a ``ValueError`` so call sites written
+against the built-in exception keep working.  ``WorkloadError`` used to
+double as a ``KeyError`` the same way; that wart is being retired —
+``WorkloadError`` itself is now a clean :class:`ReproError`, and unknown
+workload names raise :class:`WorkloadKeyError`, a transitional subclass
+that still inherits ``KeyError`` so legacy ``except KeyError`` call
+sites keep working for one release.  Catch ``WorkloadError``; the shim
+class disappears next release.
 """
 
 from __future__ import annotations
@@ -31,11 +39,36 @@ class ConfigError(ReproError, ValueError):
     """Invalid simulation parameters or machine configuration."""
 
 
-class WorkloadError(ReproError, KeyError):
+class WorkloadError(ReproError):
     """Unknown or unresolvable workload name."""
+
+
+class WorkloadKeyError(WorkloadError, KeyError):
+    """Deprecated transitional form of :class:`WorkloadError`.
+
+    Raised (instead of plain ``WorkloadError``) for exactly one release
+    so call sites written against the original bare-``KeyError`` raise
+    keep working.  New code must catch :class:`WorkloadError`; the next
+    release raises that directly and deletes this class.
+    """
 
     # KeyError.__str__ repr-quotes its argument; keep plain messages.
     __str__ = Exception.__str__
+
+
+class VerificationError(ReproError):
+    """The verification layer found invariant violations.
+
+    The run itself completed; what failed is the machine's claimed
+    behaviour.  Deterministic (seeded simulation), never retried.
+    ``violations`` carries the rendered violation records when raised
+    in-process (they do not survive the harness's worker pipe; the
+    message always carries a summary).
+    """
+
+    def __init__(self, message: str, violations: Tuple = ()):
+        super().__init__(message)
+        self.violations = tuple(violations)
 
 
 @dataclass(frozen=True)

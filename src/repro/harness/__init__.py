@@ -15,6 +15,7 @@ from repro.errors import (
     ReproError,
     SimulationHangError,
     TransientCellError,
+    VerificationError,
     WorkloadError,
     is_retryable,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "CellTimeoutError",
     "CellCrashError",
     "TransientCellError",
+    "VerificationError",
     "HangSnapshot",
     "is_retryable",
     "ResultCache",

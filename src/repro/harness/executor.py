@@ -43,7 +43,9 @@ from repro.errors import (
     ReproError,
     SimulationHangError,
     TransientCellError,
+    VerificationError,
     WorkloadError,
+    WorkloadKeyError,
     is_retryable,
 )
 from repro.harness.cache import ResultCache, cell_key, default_cache_dir
@@ -73,6 +75,13 @@ class HarnessSettings:
     resume: bool = True
     #: Programmatic fault injections (merged with $REPRO_FAULTS).
     faults: Tuple[FaultSpec, ...] = ()
+    #: Run every freshly-computed cell under the verification layer
+    #: (:mod:`repro.verify`): golden retire model plus event-stream
+    #: invariant checkers.  Violations surface as a non-retryable
+    #: :class:`~repro.errors.VerificationError`.  An execution policy,
+    #: not part of the cell's identity — cached results are returned
+    #: as-is without re-verification.
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -188,19 +197,28 @@ class CellOutcome:
 # Cell execution
 # --------------------------------------------------------------------------
 
-def _simulate_cell(cell: Cell) -> Any:
+def _simulate_cell(cell: Cell, verify: bool = False) -> Any:
     """Run one cell's simulation in the current process."""
     from repro.core.simulator import simulate
 
     settings = cell.settings
-    return simulate(
+    verifier = None
+    if verify:
+        from repro.verify import Verifier
+
+        verifier = Verifier()
+    result = simulate(
         cell.workload,
         cell.config,
         instructions=settings.instructions,
         warmup=settings.warmup,
         detailed_warmup=settings.detailed_warmup,
         seed=cell.seed,
+        verifier=verifier,
     )
+    if verifier is not None:
+        verifier.raise_if_failed(context=cell.label)
+    return result
 
 
 def _encode_error(error: BaseException) -> Dict[str, Any]:
@@ -220,8 +238,9 @@ def _encode_error(error: BaseException) -> Dict[str, Any]:
 _ERROR_CLASSES = {
     cls.__name__: cls
     for cls in (
-        ReproError, ConfigError, WorkloadError, SimulationHangError,
-        CellTimeoutError, CellCrashError, TransientCellError,
+        ReproError, ConfigError, WorkloadError, WorkloadKeyError,
+        SimulationHangError, CellTimeoutError, CellCrashError,
+        TransientCellError, VerificationError,
     )
 }
 
@@ -234,12 +253,14 @@ def _decode_error(encoded: Dict[str, Any]) -> ReproError:
     return cls(encoded["message"])
 
 
-def _worker_main(conn, cell: Cell, fault: Optional[FaultSpec]) -> None:
+def _worker_main(
+    conn, cell: Cell, fault: Optional[FaultSpec], verify: bool = False
+) -> None:
     """Subprocess entry point: run one cell, report through ``conn``."""
     try:
         if fault is not None:
             trigger(fault, isolated=True)
-        result = _simulate_cell(cell)
+        result = _simulate_cell(cell, verify=verify)
         conn.send(("ok", result))
     except BaseException as error:  # classified on the parent side
         try:
@@ -260,12 +281,14 @@ def _run_isolated(
     cell: Cell,
     fault: Optional[FaultSpec],
     timeout: Optional[float],
+    verify: bool = False,
 ) -> Any:
     """Run one cell attempt in a worker subprocess with a watchdog."""
     ctx = _mp_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
-        target=_worker_main, args=(child_conn, cell, fault), daemon=True
+        target=_worker_main, args=(child_conn, cell, fault, verify),
+        daemon=True,
     )
     process.start()
     child_conn.close()
@@ -340,11 +363,13 @@ def run_cell(
         )
         try:
             if isolated:
-                result = _run_isolated(cell, fault, harness.cell_timeout)
+                result = _run_isolated(
+                    cell, fault, harness.cell_timeout, verify=harness.verify
+                )
             else:
                 if fault is not None:
                     trigger(fault, isolated=False)
-                result = _simulate_cell(cell)
+                result = _simulate_cell(cell, verify=harness.verify)
         except ReproError as failure:
             error = failure
             if not is_retryable(failure) or attempt == attempts:
@@ -357,7 +382,8 @@ def run_cell(
                 time.sleep(backoff)
             continue
         except KeyError as failure:
-            # Unknown workload resolved inside an unisolated worker.
+            # A raw KeyError escaping an unisolated worker (workload
+            # lookups raise WorkloadError and are classified above).
             error = WorkloadError(str(failure))
             break
         if cache is not None:

@@ -46,6 +46,7 @@ from repro.obs.events import (
     ConfirmEvent,
     CRCEvent,
     CycleEvent,
+    DropEvent,
     Event,
     ExecuteEvent,
     FetchEvent,
@@ -58,6 +59,7 @@ from repro.obs.events import (
     RenameEvent,
     RetireEvent,
     SquashEvent,
+    WritebackEvent,
 )
 from repro.obs.metrics import (
     Counter,
@@ -101,6 +103,8 @@ __all__ = [
     "ConfirmEvent",
     "RetireEvent",
     "SquashEvent",
+    "DropEvent",
+    "WritebackEvent",
     "OperandEvent",
     "LoadResolvedEvent",
     "BranchOutcomeEvent",

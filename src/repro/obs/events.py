@@ -20,7 +20,7 @@ loop-attribution engine needs to classify stall cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, ClassVar, Dict
+from typing import Any, ClassVar, Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -57,12 +57,26 @@ class FetchEvent(Event):
 
 @dataclass(frozen=True)
 class RenameEvent(Event):
-    """An instruction was renamed (mapped to physical registers)."""
+    """An instruction was renamed (mapped to physical registers).
+
+    Carries the full rename outcome so register-level checkers can
+    replay the map: ``arch_dst`` / ``dst_preg`` / ``prev_dst_preg`` are
+    ``-1`` for instructions without a destination, ``src_pregs`` are the
+    physical sources in operand order, and ``preread[i]`` records the
+    DRA's RPFT pre-read decision for ``src_pregs[i]`` (always empty on
+    the base machine).  Emitted *after* the rename completed, within the
+    rename cycle.
+    """
 
     KIND: ClassVar[str] = "rename"
 
     uid: int
     thread: int
+    arch_dst: int = -1
+    dst_preg: int = -1
+    prev_dst_preg: int = -1
+    src_pregs: Tuple[int, ...] = ()
+    preread: Tuple[bool, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -154,6 +168,23 @@ class SquashEvent(Event):
     reason: str
 
 
+@dataclass(frozen=True)
+class DropEvent(Event):
+    """An instruction was discarded from the fetch pipe by a flush.
+
+    Distinct from :class:`SquashEvent`: dropped instructions never
+    renamed, so they roll back no machine state and are not counted as
+    squashes by :class:`~repro.core.stats.CoreStats`.  Together the two
+    events make the instruction ledger conserve exactly:
+    fetched == retired + squashed + dropped + in flight.
+    """
+
+    KIND: ClassVar[str] = "drop"
+
+    uid: int
+    thread: int
+
+
 # --------------------------------------------------------------------------
 # Loop resolution points
 # --------------------------------------------------------------------------
@@ -227,7 +258,8 @@ class PredictorEvent(Event):
 class CRCEvent(Event):
     """Cluster-register-cache activity (emitted from ``repro.core.dra``).
 
-    ``action`` is ``hit`` / ``miss`` / ``insert`` / ``invalidate``.
+    ``action`` is ``hit`` / ``miss`` / ``insert`` / ``invalidate`` /
+    ``evict`` (FIFO replacement pushed the entry out).
     """
 
     KIND: ClassVar[str] = "crc"
@@ -235,6 +267,16 @@ class CRCEvent(Event):
     preg: int
     cluster: int
     action: str
+
+
+@dataclass(frozen=True)
+class WritebackEvent(Event):
+    """A physical register's value was written back to the register file
+    (the point where the RPFT bit for ``preg`` is set)."""
+
+    KIND: ClassVar[str] = "writeback"
+
+    preg: int
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,244 @@
+"""Differential configuration checks: cross-machine consistency laws.
+
+These checks exploit structural relations between configurations that
+must hold regardless of the workload, so any breakage localises a
+timing-model bug even when every single-run invariant passes:
+
+* **DRA/base equivalence** — a DRA machine whose cluster register
+  caches can hold the entire physical register file never misses an
+  operand, so its timing must be *cycle-for-cycle identical* to the
+  base machine with the same DEC->IQ / IQ->EX geometry
+  (``CoreConfig.base(1)`` and ``CoreConfig.with_dra(3)`` both run a
+  5_3 pipe).  §4's argument that a big-enough register cache is just
+  a register file, made executable.
+* **infinite-CRC miss freedom** — per preset, a DRA variant whose CRCs
+  cover every physical register must report zero operand-miss events.
+* **RF-latency monotonicity** — per preset, stretching the register
+  read (and with it IQ->EX, as in §6's base machines) can never raise
+  IPC.  The paper's Figure 8 downward slope, as an inequality.
+* **stall-recovery silence** — under ``LoadRecovery.STALL`` nothing
+  ever issues before its operands are known good, so the reissue
+  counters and load misspeculation count must be exactly zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.core.config import CoreConfig, DRAConfig, LoadRecovery
+from repro.presets import MACHINE_PRESETS, preset
+
+
+@dataclass
+class DifferentialCheck:
+    """Outcome of one cross-configuration law."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def describe(self) -> str:
+        status = "ok  " if self.passed else "FAIL"
+        return f"{status} {self.name}: {self.detail}"
+
+
+def _run(workload, config, instructions, warmup, detailed_warmup, seed):
+    from repro.core.simulator import simulate
+
+    return simulate(
+        workload,
+        config,
+        instructions=instructions,
+        warmup=warmup,
+        detailed_warmup=detailed_warmup,
+        seed=seed,
+    ).stats
+
+
+def _infinite_crc(config: CoreConfig) -> DRAConfig:
+    """A CRC geometry that can never evict a live register."""
+    base = config.dra if config.dra is not None else DRAConfig()
+    return replace(
+        base, crc_entries=config.num_pregs, counter_bits=16
+    )
+
+
+def check_dra_base_equivalence(
+    workload: str = "int_test",
+    instructions: int = 2000,
+    warmup: int = 20_000,
+    detailed_warmup: int = 400,
+    seed: int = 0,
+) -> DifferentialCheck:
+    """``base(1)`` and infinite-CRC ``with_dra(3)`` must match exactly."""
+    base_config = CoreConfig.base(1)
+    dra_config = CoreConfig.with_dra(
+        3, dra=replace(DRAConfig(), crc_entries=768, counter_bits=16)
+    )
+    base_stats = _run(
+        workload, base_config, instructions, warmup, detailed_warmup, seed
+    )
+    dra_stats = _run(
+        workload, dra_config, instructions, warmup, detailed_warmup, seed
+    )
+    mismatches = []
+    if base_stats.cycles != dra_stats.cycles:
+        mismatches.append(
+            f"cycles {base_stats.cycles} != {dra_stats.cycles}"
+        )
+    if base_stats.retired != dra_stats.retired:
+        mismatches.append(
+            f"retired {base_stats.retired} != {dra_stats.retired}"
+        )
+    if dra_stats.operand_miss_events:
+        mismatches.append(
+            f"{dra_stats.operand_miss_events} operand misses under an "
+            f"infinite CRC"
+        )
+    if mismatches:
+        return DifferentialCheck(
+            "dra-base-equivalence", False, "; ".join(mismatches)
+        )
+    return DifferentialCheck(
+        "dra-base-equivalence",
+        True,
+        f"{base_config.label} == {dra_config.label} at "
+        f"{base_stats.cycles} cycles / {base_stats.retired} retired",
+    )
+
+
+def check_infinite_crc(
+    preset_name: str,
+    workload: str = "int_test",
+    instructions: int = 2000,
+    warmup: int = 20_000,
+    detailed_warmup: int = 400,
+    seed: int = 0,
+) -> DifferentialCheck:
+    """A CRC covering every preg must never miss an operand."""
+    config = preset(preset_name)
+    config = replace(config, dra=_infinite_crc(config))
+    stats = _run(
+        workload, config, instructions, warmup, detailed_warmup, seed
+    )
+    name = f"infinite-crc[{preset_name}]"
+    if stats.operand_miss_events:
+        return DifferentialCheck(
+            name,
+            False,
+            f"{stats.operand_miss_events} operand misses with "
+            f"crc_entries == num_pregs ({config.num_pregs})",
+        )
+    return DifferentialCheck(
+        name, True, f"0 operand misses over {stats.retired} retirements"
+    )
+
+
+def check_rf_monotonicity(
+    preset_name: str,
+    workload: str = "int_test",
+    instructions: int = 1500,
+    warmup: int = 20_000,
+    detailed_warmup: int = 300,
+    seed: int = 0,
+    deltas=(0, 2, 4),
+) -> DifferentialCheck:
+    """Baseline IPC must not increase as the RF read lengthens.
+
+    Each step stretches ``rf_read_latency`` and ``iq_ex`` together,
+    exactly how :meth:`CoreConfig.base` builds §6's base machines.
+    """
+    config = preset(preset_name)
+    if config.dra is not None:
+        config = replace(config, dra=None)
+    ipcs = []
+    for delta in deltas:
+        stretched = replace(
+            config,
+            rf_read_latency=config.rf_read_latency + delta,
+            iq_ex=config.iq_ex + delta,
+        )
+        stats = _run(
+            workload, stretched, instructions, warmup, detailed_warmup, seed
+        )
+        ipcs.append((delta, stats.ipc))
+    name = f"rf-monotonicity[{preset_name}]"
+    trace = ", ".join(f"+{d}:{ipc:.4f}" for d, ipc in ipcs)
+    for (d_lo, ipc_lo), (d_hi, ipc_hi) in zip(ipcs, ipcs[1:]):
+        if ipc_hi > ipc_lo + 1e-12:
+            return DifferentialCheck(
+                name,
+                False,
+                f"IPC rose from {ipc_lo:.4f} (+{d_lo}) to "
+                f"{ipc_hi:.4f} (+{d_hi}): {trace}",
+            )
+    return DifferentialCheck(name, True, trace)
+
+
+def check_stall_recovery(
+    preset_name: str,
+    workload: str = "int_test",
+    instructions: int = 1500,
+    warmup: int = 20_000,
+    detailed_warmup: int = 300,
+    seed: int = 0,
+) -> DifferentialCheck:
+    """``LoadRecovery.STALL`` must produce zero reissues/misspeculations."""
+    config = preset(preset_name)
+    if config.dra is not None:
+        config = replace(config, dra=None)
+    config = replace(config, load_recovery=LoadRecovery.STALL)
+    stats = _run(
+        workload, config, instructions, warmup, detailed_warmup, seed
+    )
+    name = f"stall-recovery[{preset_name}]"
+    if stats.total_reissues or stats.load_misspeculations:
+        return DifferentialCheck(
+            name,
+            False,
+            f"{stats.total_reissues} reissues, "
+            f"{stats.load_misspeculations} load misspeculations under "
+            f"stall recovery",
+        )
+    return DifferentialCheck(
+        name, True, f"silent over {stats.retired} retirements"
+    )
+
+
+def run_differential_checks(
+    workload: str = "int_test",
+    instructions: int = 1500,
+    warmup: int = 20_000,
+    detailed_warmup: int = 300,
+    seed: int = 0,
+    presets: Optional[List[str]] = None,
+) -> List[DifferentialCheck]:
+    """The full differential matrix (what ``repro verify -d`` runs)."""
+    names = list(presets) if presets is not None else list(MACHINE_PRESETS)
+    checks = [
+        check_dra_base_equivalence(
+            workload,
+            instructions=max(instructions, 2000),
+            warmup=warmup,
+            detailed_warmup=detailed_warmup,
+            seed=seed,
+        )
+    ]
+    for name in names:
+        checks.append(
+            check_infinite_crc(
+                name, workload, instructions, warmup, detailed_warmup, seed
+            )
+        )
+        checks.append(
+            check_rf_monotonicity(
+                name, workload, instructions, warmup, detailed_warmup, seed
+            )
+        )
+        checks.append(
+            check_stall_recovery(
+                name, workload, instructions, warmup, detailed_warmup, seed
+            )
+        )
+    return checks

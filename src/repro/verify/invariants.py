@@ -1,0 +1,545 @@
+"""Event-stream invariant checkers.
+
+Each checker subscribes to the :class:`~repro.obs.bus.EventBus` of one
+detailed-simulation run and rebuilds a small shadow model of the machine
+from the events alone; wherever the stream contradicts the shadow model
+the checker records a :class:`Violation`.  Nothing here reaches into the
+simulator — the checkers see exactly what an external consumer of the
+event stream would see, so a passing run certifies both the machine and
+its probes.
+
+The catalog (see docs/verification.md):
+
+* :class:`ConservationChecker` — instruction conservation.  Every
+  fetched instruction is retired, squashed, dropped from the fetch pipe,
+  or still in flight at the end; no instruction retires twice, retires
+  after a squash, or is squashed twice.
+* :class:`RenameChecker` — rename-map consistency.  Each rename's
+  ``prev_dst_preg`` must equal the shadow map's current mapping, no
+  physical register is re-allocated while still live, and squashes roll
+  the map back youngest-first.
+* :class:`DataflowChecker` — ground-truth dataflow timing and
+  reissue-tree closure.  A successful execute must see every source
+  value available (producer completed with ``avail_cycle <= cycle``); a
+  failed execute must be paired with a same-cycle reissue and a later
+  re-issue (or squash); an instruction never retires with an unresolved
+  replay; a ``load_miss``/``dependent`` reissue must have had a source
+  that was genuinely unavailable.
+* :class:`CRCCoherenceChecker` (DRA runs only) — RPFT / CRC coherence.
+  A pre-read granted by the RPFT implies the register's current version
+  had written back; a CRC hit must return the newest version (an entry
+  surviving its register's re-allocation is the §5.5 staleness bug); the
+  checker mirrors CRC residency from insert/evict/invalidate events and
+  flags hits and misses that disagree with it.
+
+All checkers assume the bus is attached from cycle 0 of detailed
+simulation (what :func:`repro.core.simulate` does), so the stream covers
+every instruction's whole lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CompleteEvent,
+    CRCEvent,
+    DropEvent,
+    ExecuteEvent,
+    FetchEvent,
+    IssueEvent,
+    ReissueEvent,
+    RenameEvent,
+    RetireEvent,
+    SquashEvent,
+    WritebackEvent,
+)
+
+#: Reissue causes that assert a source value was genuinely unavailable.
+_VALUE_CAUSES = ("load_miss", "dependent")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, pinpointed in the event stream."""
+
+    checker: str
+    cycle: int
+    message: str
+    uid: Optional[int] = None
+
+    def describe(self) -> str:
+        """One report line."""
+        where = f"cycle {self.cycle}"
+        if self.uid is not None:
+            where += f", uid {self.uid}"
+        return f"[{self.checker}] {where}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "cycle": self.cycle,
+            "uid": self.uid,
+            "message": self.message,
+        }
+
+
+class InvariantChecker:
+    """Base class: violation recording with a cap on stored records."""
+
+    name = "invariant"
+
+    #: Full records kept per checker; further violations only count.
+    MAX_RECORDED = 25
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.violation_count = 0
+
+    def _record(
+        self, cycle: int, message: str, uid: Optional[int] = None
+    ) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.MAX_RECORDED:
+            self.violations.append(
+                Violation(
+                    checker=self.name, cycle=cycle, message=message, uid=uid
+                )
+            )
+
+    def attach(self, bus: EventBus) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """End-of-run checks (defaults to none)."""
+
+
+class ConservationChecker(InvariantChecker):
+    """fetched == retired + squashed + dropped + in flight, per uid."""
+
+    name = "conservation"
+
+    _FETCHED = "fetched"
+    _RETIRED = "retired"
+    _SQUASHED = "squashed"
+    _DROPPED = "dropped"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: uid -> lifecycle state (every uid ever fetched stays here).
+        self._state: Dict[int, str] = {}
+        self.fetched = 0
+        self.retired = 0
+        self.squashed = 0
+        self.dropped = 0
+        self._last_cycle = 0
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(FetchEvent, self._on_fetch)
+        bus.subscribe(RetireEvent, self._on_retire)
+        bus.subscribe(SquashEvent, self._on_squash)
+        bus.subscribe(DropEvent, self._on_drop)
+
+    def _on_fetch(self, event: FetchEvent) -> None:
+        self._last_cycle = event.cycle
+        if event.uid in self._state:
+            self._record(
+                event.cycle, "uid fetched twice", uid=event.uid
+            )
+            return
+        self._state[event.uid] = self._FETCHED
+        self.fetched += 1
+
+    def _terminate(self, event, terminal: str) -> None:
+        self._last_cycle = event.cycle
+        state = self._state.get(event.uid)
+        if state is None:
+            self._record(
+                event.cycle, f"{terminal} without fetch", uid=event.uid
+            )
+            return
+        if state is not self._FETCHED:
+            self._record(
+                event.cycle,
+                f"{terminal} after already {state}",
+                uid=event.uid,
+            )
+            return
+        self._state[event.uid] = terminal
+
+    def _on_retire(self, event: RetireEvent) -> None:
+        self._terminate(event, self._RETIRED)
+        self.retired += 1
+
+    def _on_squash(self, event: SquashEvent) -> None:
+        self._terminate(event, self._SQUASHED)
+        self.squashed += 1
+
+    def _on_drop(self, event: DropEvent) -> None:
+        self._terminate(event, self._DROPPED)
+        self.dropped += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Instructions fetched but not yet retired/squashed/dropped."""
+        return sum(
+            1 for state in self._state.values() if state is self._FETCHED
+        )
+
+    def finish(self) -> None:
+        accounted = self.retired + self.squashed + self.dropped + self.in_flight
+        if self.fetched != accounted:
+            self._record(
+                self._last_cycle,
+                f"instruction ledger does not conserve: fetched "
+                f"{self.fetched} != retired {self.retired} + squashed "
+                f"{self.squashed} + dropped {self.dropped} + in-flight "
+                f"{self.in_flight}",
+            )
+
+
+@dataclass
+class _RenameRecord:
+    thread: int
+    arch_dst: int
+    dst_preg: int
+    prev_dst_preg: int
+
+
+class RenameChecker(InvariantChecker):
+    """Shadow rename map: prev-writer chaining and rollback ordering."""
+
+    name = "rename"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (thread, arch) -> current physical register, learned lazily
+        #: from the first rename of each architectural register.
+        self._map: Dict[Tuple[int, int], int] = {}
+        #: uid -> rename outcome, for rollback and retire-time freeing.
+        self._records: Dict[int, _RenameRecord] = {}
+        #: physical registers currently allocated to in-flight writers.
+        self._live: Set[int] = set()
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(RenameEvent, self._on_rename)
+        bus.subscribe(RetireEvent, self._on_retire)
+        bus.subscribe(SquashEvent, self._on_squash)
+
+    def _on_rename(self, event: RenameEvent) -> None:
+        if event.arch_dst < 0:
+            return
+        key = (event.thread, event.arch_dst)
+        known = self._map.get(key)
+        if known is not None and known != event.prev_dst_preg:
+            self._record(
+                event.cycle,
+                f"prev_dst_preg {event.prev_dst_preg} does not chain from "
+                f"the current mapping {known} of arch r{event.arch_dst}",
+                uid=event.uid,
+            )
+        if event.dst_preg in self._live:
+            self._record(
+                event.cycle,
+                f"physical register {event.dst_preg} re-allocated while "
+                f"its previous writer is still in flight",
+                uid=event.uid,
+            )
+        self._map[key] = event.dst_preg
+        self._live.add(event.dst_preg)
+        self._records[event.uid] = _RenameRecord(
+            thread=event.thread,
+            arch_dst=event.arch_dst,
+            dst_preg=event.dst_preg,
+            prev_dst_preg=event.prev_dst_preg,
+        )
+
+    def _on_retire(self, event: RetireEvent) -> None:
+        record = self._records.pop(event.uid, None)
+        if record is None:
+            return
+        # retirement frees the *previous* mapping; the new one becomes
+        # the committed version
+        self._live.discard(record.prev_dst_preg)
+
+    def _on_squash(self, event: SquashEvent) -> None:
+        record = self._records.pop(event.uid, None)
+        if record is None:
+            return
+        key = (record.thread, record.arch_dst)
+        current = self._map.get(key)
+        if current != record.dst_preg:
+            self._record(
+                event.cycle,
+                f"squash rollback out of order: arch r{record.arch_dst} "
+                f"maps to {current}, expected {record.dst_preg}",
+                uid=event.uid,
+            )
+        self._map[key] = record.prev_dst_preg
+        self._live.discard(record.dst_preg)
+
+
+class DataflowChecker(InvariantChecker):
+    """Ground-truth operand timing and reissue-tree closure."""
+
+    name = "dataflow"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: preg -> stack of in-flight writer uids (youngest last).  An
+        #: empty/missing stack means the committed version: available.
+        self._writers: Dict[int, List[int]] = {}
+        #: uid -> (src_pregs, dst_preg) from rename.
+        self._renamed: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        #: uid -> result availability cycle (CompleteEvent).
+        self._avail: Dict[int, int] = {}
+        #: uid -> epoch of the last IssueEvent.
+        self._issued_epoch: Dict[int, int] = {}
+        #: uid -> issue epoch that failed and awaits its re-issue.
+        self._pending_reissue: Dict[int, int] = {}
+        #: uid -> cycle of an ok=False execute awaiting its ReissueEvent.
+        self._expect_reissue: Dict[int, int] = {}
+        self._last_cycle = 0
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(RenameEvent, self._on_rename)
+        bus.subscribe(IssueEvent, self._on_issue)
+        bus.subscribe(ExecuteEvent, self._on_execute)
+        bus.subscribe(ReissueEvent, self._on_reissue)
+        bus.subscribe(CompleteEvent, self._on_complete)
+        bus.subscribe(RetireEvent, self._on_retire)
+        bus.subscribe(SquashEvent, self._on_squash)
+
+    # --- availability model ------------------------------------------------
+
+    def _source_available(self, preg: int, cycle: int) -> bool:
+        """Whether ``preg``'s newest version is available at ``cycle``.
+
+        Mirrors the machine's ground truth: the committed version (no
+        observed in-flight writer) is always available; an in-flight
+        version is available once its producer completed with
+        ``avail_cycle <= cycle``.
+        """
+        stack = self._writers.get(preg)
+        if not stack:
+            return True
+        avail = self._avail.get(stack[-1])
+        return avail is not None and avail <= cycle
+
+    # --- handlers ----------------------------------------------------------
+
+    def _on_rename(self, event: RenameEvent) -> None:
+        self._last_cycle = event.cycle
+        self._renamed[event.uid] = (event.src_pregs, event.dst_preg)
+        if event.dst_preg >= 0:
+            self._writers.setdefault(event.dst_preg, []).append(event.uid)
+
+    def _on_issue(self, event: IssueEvent) -> None:
+        self._last_cycle = event.cycle
+        previous = self._issued_epoch.get(event.uid, 0)
+        if event.epoch != previous + 1:
+            self._record(
+                event.cycle,
+                f"issue epoch {event.epoch} does not follow {previous}",
+                uid=event.uid,
+            )
+        self._issued_epoch[event.uid] = event.epoch
+        pending = self._pending_reissue.pop(event.uid, None)
+        if pending is not None and event.epoch <= pending:
+            self._record(
+                event.cycle,
+                f"re-issue epoch {event.epoch} not newer than the failed "
+                f"epoch {pending}",
+                uid=event.uid,
+            )
+
+    def _on_execute(self, event: ExecuteEvent) -> None:
+        self._last_cycle = event.cycle
+        if not event.ok:
+            self._expect_reissue[event.uid] = event.cycle
+            return
+        entry = self._renamed.get(event.uid)
+        if entry is None:
+            return  # not renamed under observation (cannot happen when
+            # the bus is attached from cycle 0)
+        src_pregs, _ = entry
+        for preg in src_pregs:
+            if not self._source_available(preg, event.cycle):
+                self._record(
+                    event.cycle,
+                    f"executed ok with unavailable operand preg {preg} "
+                    f"(producer has not completed by cycle {event.cycle})",
+                    uid=event.uid,
+                )
+
+    def _on_reissue(self, event: ReissueEvent) -> None:
+        expected_at = self._expect_reissue.pop(event.uid, None)
+        if expected_at is None or expected_at != event.cycle:
+            self._record(
+                event.cycle,
+                "reissue without a same-cycle failed execute",
+                uid=event.uid,
+            )
+        self._pending_reissue[event.uid] = self._issued_epoch.get(event.uid, 0)
+        if event.cause in _VALUE_CAUSES:
+            entry = self._renamed.get(event.uid)
+            if entry is not None:
+                src_pregs, _ = entry
+                if all(
+                    self._source_available(preg, event.cycle)
+                    for preg in src_pregs
+                ):
+                    self._record(
+                        event.cycle,
+                        f"{event.cause} reissue but every source value "
+                        f"was available",
+                        uid=event.uid,
+                    )
+
+    def _on_complete(self, event: CompleteEvent) -> None:
+        self._avail[event.uid] = event.avail_cycle
+
+    def _forget(self, uid: int) -> None:
+        self._issued_epoch.pop(uid, None)
+        self._pending_reissue.pop(uid, None)
+        self._expect_reissue.pop(uid, None)
+
+    def _on_retire(self, event: RetireEvent) -> None:
+        self._last_cycle = event.cycle
+        if event.uid in self._pending_reissue \
+                or event.uid in self._expect_reissue:
+            self._record(
+                event.cycle,
+                "retired with an unresolved replay (reissue tree not "
+                "closed)",
+                uid=event.uid,
+            )
+        entry = self._renamed.get(event.uid)
+        if entry is not None and event.uid not in self._avail:
+            self._record(
+                event.cycle, "retired without completing", uid=event.uid
+            )
+        self._forget(event.uid)
+
+    def _on_squash(self, event: SquashEvent) -> None:
+        self._last_cycle = event.cycle
+        entry = self._renamed.pop(event.uid, None)
+        if entry is not None:
+            _, dst_preg = entry
+            if dst_preg >= 0:
+                stack = self._writers.get(dst_preg)
+                if stack and stack[-1] == event.uid:
+                    stack.pop()
+                else:
+                    self._record(
+                        event.cycle,
+                        f"squash of a non-youngest writer of preg "
+                        f"{dst_preg}",
+                        uid=event.uid,
+                    )
+        self._forget(event.uid)
+        self._avail.pop(event.uid, None)
+
+    def finish(self) -> None:
+        for uid, cycle in self._expect_reissue.items():
+            self._record(
+                cycle,
+                "failed execute never produced its ReissueEvent",
+                uid=uid,
+            )
+
+
+class CRCCoherenceChecker(InvariantChecker):
+    """RPFT pre-read correctness and CRC version coherence (DRA runs)."""
+
+    name = "crc"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: preg -> allocation version; registers never seen allocated
+        #: are version 0 (the committed initial state, written back).
+        self._alloc_version: Dict[int, int] = {}
+        #: preg -> allocation version at its last writeback.
+        self._wb_version: Dict[int, int] = {}
+        #: cluster -> {preg: allocation version at CRC insert}.
+        self._resident: Dict[int, Dict[int, int]] = {}
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(RenameEvent, self._on_rename)
+        bus.subscribe(WritebackEvent, self._on_writeback)
+        bus.subscribe(CRCEvent, self._on_crc)
+
+    def _version(self, preg: int) -> int:
+        return self._alloc_version.get(preg, 0)
+
+    def _completed(self, preg: int) -> bool:
+        """Whether ``preg``'s current version has written back."""
+        if preg not in self._alloc_version:
+            return True  # initial committed state
+        return self._wb_version.get(preg) == self._alloc_version[preg]
+
+    def _on_rename(self, event: RenameEvent) -> None:
+        # source pre-read decisions are checked against the *pre-rename*
+        # state, so sources first, then the destination re-allocation
+        for preg, preread in zip(event.src_pregs, event.preread):
+            completed = self._completed(preg)
+            if preread and not completed:
+                self._record(
+                    event.cycle,
+                    f"pre-read granted for preg {preg} whose value has "
+                    f"not written back (RPFT should have filtered it)",
+                    uid=event.uid,
+                )
+            elif not preread and completed:
+                self._record(
+                    event.cycle,
+                    f"RPFT filtered preg {preg} although its value is "
+                    f"in the register file",
+                    uid=event.uid,
+                )
+        if event.dst_preg >= 0:
+            self._alloc_version[event.dst_preg] = (
+                self._version(event.dst_preg) + 1
+            )
+
+    def _on_writeback(self, event: WritebackEvent) -> None:
+        self._wb_version[event.preg] = self._version(event.preg)
+
+    def _on_crc(self, event: CRCEvent) -> None:
+        resident = self._resident.setdefault(event.cluster, {})
+        if event.action == "insert":
+            resident[event.preg] = self._version(event.preg)
+        elif event.action in ("invalidate", "evict"):
+            if event.preg not in resident:
+                self._record(
+                    event.cycle,
+                    f"CRC {event.action} of non-resident preg "
+                    f"{event.preg} in cluster {event.cluster}",
+                )
+            resident.pop(event.preg, None)
+        elif event.action == "hit":
+            version = resident.get(event.preg)
+            if version is None:
+                self._record(
+                    event.cycle,
+                    f"CRC hit on non-resident preg {event.preg} in "
+                    f"cluster {event.cluster}",
+                )
+            elif version != self._version(event.preg):
+                self._record(
+                    event.cycle,
+                    f"stale CRC hit: preg {event.preg} entry is version "
+                    f"{version}, current version is "
+                    f"{self._version(event.preg)} (missing §5.5 "
+                    f"invalidation)",
+                )
+        elif event.action == "miss":
+            version = resident.get(event.preg)
+            if version is not None and version == self._version(event.preg):
+                self._record(
+                    event.cycle,
+                    f"CRC miss although preg {event.preg} is resident "
+                    f"with the current version in cluster {event.cluster}",
+                )

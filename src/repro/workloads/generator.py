@@ -141,6 +141,7 @@ class SyntheticTraceGenerator:
         self._pc_base = (thread + 1) << 28
         self._next_pc = self._pc_base
         self._emitted = 0
+        self.page_bytes = page_bytes
 
         # --- branch sites ---------------------------------------------------
         br = profile.branches
@@ -418,6 +419,14 @@ class SyntheticTraceGenerator:
         return op
 
     # ---------------------------------------------------------------- stream
+
+    @property
+    def emitted(self) -> int:
+        """Micro-ops generated so far.  A reference generator built with
+        the same ``(profile, seed, thread, page_bytes)`` and fast-forwarded
+        by this count continues the stream exactly (the verification
+        oracle relies on this)."""
+        return self._emitted
 
     def next_op(self) -> MicroOp:
         """Generate the next micro-op of the stream."""

@@ -92,6 +92,41 @@ class TestHarnessFlags:
         assert args.cell_timeout is None
         assert not args.resume
         assert args.cache_dir is None
+        assert not args.verify
+
+    def test_campaign_verify_flag(self):
+        args = build_parser().parse_args(["fig4", "--verify"])
+        assert args.verify
+
+    def test_verify_subcommand_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.workload == "int_test"
+        assert not args.differential
+        assert not args.fuzz
+        assert args.budget == 30.0
+
+    def test_verify_sweep_runs_clean(self, capsys):
+        assert main([
+            "verify", "--instructions", "600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "alpha21264" in out
+        assert "pentium4" in out
+        assert "ok" in out
+        assert "FAIL" not in out
+
+    def test_verify_fuzz_injection_self_test(self, capsys, tmp_path):
+        """Finding a planted bug is the passing outcome for --inject."""
+        out_path = str(tmp_path / "case.json")
+        assert main([
+            "verify", "--fuzz", "--budget", "45",
+            "--inject", "skip-reissue", "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert main(["verify", "--replay", out_path]) == 1
+        replay_out = capsys.readouterr().out
+        assert "still failing" in replay_out
 
 
 class TestErrorHandling:

@@ -1,0 +1,71 @@
+"""Exact-integer regression pins for the core timing model.
+
+Baseline and DRA machines at RF read latency 3/5/7 must reproduce the
+checked-in ``tests/golden/ipc_numbers.json`` *exactly* — cycles,
+retirements and reissue counts.  Any timing-model change, intended or
+not, trips these tests; intended changes regenerate the file with::
+
+    PYTHONPATH=src python scripts/update_golden.py
+
+and the diff of the JSON becomes part of the review.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.simulator import simulate
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "ipc_numbers.json"
+)
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
+    GOLDEN = json.load(_handle)
+
+
+def _config_for(label: str) -> CoreConfig:
+    kind, rf = label.rsplit("_rf", 1)
+    if kind == "dra":
+        return CoreConfig.with_dra(int(rf))
+    return CoreConfig.base(int(rf))
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN["cells"]))
+def test_golden_cell(label):
+    expected = GOLDEN["cells"][label]
+    run = GOLDEN["run"]
+    config = _config_for(label)
+    assert config.label == expected["pipe"], (
+        "pipeline geometry drifted; regenerate the golden file if this "
+        "is intentional"
+    )
+    stats = simulate(
+        run["workload"],
+        config,
+        instructions=run["instructions"],
+        warmup=run["warmup"],
+        detailed_warmup=run["detailed_warmup"],
+        seed=run["seed"],
+    ).stats
+    got = {
+        "pipe": config.label,
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+        "total_reissues": stats.total_reissues,
+    }
+    assert got == expected, (
+        f"{label}: timing diverged from the golden pin; if the change "
+        f"is intentional run scripts/update_golden.py and review the "
+        f"diff"
+    )
+
+
+def test_golden_file_covers_both_machines():
+    """The pin set always spans base and DRA at every RF latency."""
+    labels = set(GOLDEN["cells"])
+    for rf in (3, 5, 7):
+        assert f"base_rf{rf}" in labels
+        assert f"dra_rf{rf}" in labels

@@ -6,10 +6,16 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis import EmpiricalCDF
 from repro.branch.predictors import _CounterTable
+from repro.core.config import CoreConfig
 from repro.core.dra import ClusterRegisterCache, InsertionTable
+from repro.core.forwarding import ForwardingBuffer
+from repro.core.iq import IssueQueue
 from repro.core.regfile import PhysRegFile
 from repro.core.stats import CoreStats
+from repro.isa import MicroOp, OpClass
+from repro.isa.instructions import DynInst
 from repro.memory import Cache, CacheConfig
+from repro.workloads import SMOKE_PROFILES, SPEC95_PROFILES, SyntheticTraceGenerator
 
 lines = st.integers(min_value=0, max_value=63)
 
@@ -159,3 +165,194 @@ class TestCDFProperties:
         cdf = EmpiricalCDF(samples)
         for x in (0, 10, 50, 100):
             assert abs(cdf.at(x) + cdf.tail_fraction(x) - 1.0) < 1e-12
+
+
+_profile_names = st.sampled_from(
+    sorted(SPEC95_PROFILES) + sorted(SMOKE_PROFILES)
+)
+
+
+def _profile(name):
+    return SPEC95_PROFILES.get(name) or SMOKE_PROFILES[name]
+
+
+class TestGeneratorDeterminism:
+    """The oracle's foundation: identical (profile, seed, thread) streams."""
+
+    @given(
+        _profile_names,
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_inputs_same_stream(self, name, seed, thread, count):
+        profile = _profile(name)
+        a = SyntheticTraceGenerator(profile, seed=seed, thread=thread)
+        b = SyntheticTraceGenerator(profile, seed=seed, thread=thread)
+        for _ in range(count):
+            assert a.next_op() == b.next_op()
+        assert a.emitted == b.emitted == count
+
+    @given(
+        _profile_names,
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fast_forward_resumes_stream(self, name, seed, skip, count):
+        """A fresh generator fast-forwarded ``emitted`` ops continues the
+        original stream — exactly how the golden retire model attaches
+        after functional warmup."""
+        profile = _profile(name)
+        original = SyntheticTraceGenerator(profile, seed=seed, thread=0)
+        for _ in range(skip):
+            original.next_op()
+        reference = SyntheticTraceGenerator(profile, seed=seed, thread=0)
+        for _ in range(original.emitted):
+            reference.next_op()
+        for _ in range(count):
+            assert original.next_op() == reference.next_op()
+
+    @given(
+        _profile_names,
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_threads_distinct_pcs(self, name, seed, count):
+        """Per-thread address spaces never collide (SMT correctness)."""
+        profile = _profile(name)
+        a = SyntheticTraceGenerator(profile, seed=seed, thread=0)
+        b = SyntheticTraceGenerator(profile, seed=seed, thread=1)
+        pcs_a = {a.next_op().pc for _ in range(count)}
+        pcs_b = {b.next_op().pc for _ in range(count)}
+        assert not (pcs_a & pcs_b)
+
+
+class TestForwardingBufferProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=250),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_holds_exactly_inside_window(self, depth, avail, cycle):
+        """A value is forwardable iff avail <= cycle <= avail + depth."""
+        regfile = PhysRegFile(4)
+        fb = ForwardingBuffer(regfile, depth=depth)
+        regfile.avail[1] = avail
+        expected = avail <= cycle <= avail + depth
+        assert fb.holds(1, cycle) == expected
+        assert not fb.holds(2, cycle)  # never-produced register
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_writeback_follows_age_out(self, depth, avail):
+        """The RF write lands exactly when the value ages out."""
+        regfile = PhysRegFile(2)
+        fb = ForwardingBuffer(regfile, depth=depth)
+        wb = fb.writeback_time(avail)
+        assert wb == avail + depth
+        regfile.avail[0] = avail
+        assert fb.holds(0, wb)          # last forwardable cycle
+        assert not fb.holds(0, wb + 1)  # aged out
+
+
+def _iq_inst(cluster, src_pregs):
+    inst = DynInst(op=MicroOp(pc=0x1000, opclass=OpClass.INT_ALU), thread=0)
+    inst.cluster = cluster
+    inst.src_pregs = list(src_pregs)
+    return inst
+
+
+class TestIssueQueueProperties:
+    """Wakeup/select invariants of the clustered IQ."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),     # cluster
+                st.lists(st.integers(min_value=0, max_value=15),
+                         max_size=2),                      # sources
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+            min_size=16, max_size=16,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_select_is_sound_per_cluster_oldest_first(
+        self, specs, spec_avail
+    ):
+        config = CoreConfig.base()
+        regfile = PhysRegFile(config.num_pregs)
+        for preg, avail in enumerate(spec_avail):
+            regfile.spec_avail[preg] = avail
+        iq = IssueQueue(config, regfile)
+        insts = [_iq_inst(cluster, srcs) for cluster, srcs in specs]
+        for inst in insts:
+            iq.insert(inst, cycle=0)
+        inserted = len(insts)
+        issued_total = 0
+        for cycle in range(0, 40):
+            ready_before = {
+                inst.uid
+                for inst in insts
+                if inst.issue_cycle < 0 and iq._ready(inst, cycle)
+            }
+            issued = iq.select(cycle)
+            issued_total += len(issued)
+            # at most one per cluster, every pick was ready
+            clusters = [inst.cluster for inst in issued]
+            assert len(clusters) == len(set(clusters))
+            horizon = cycle + config.iq_ex
+            for inst in issued:
+                assert inst.uid in ready_before
+                for preg in inst.src_pregs:
+                    avail = regfile.spec_avail[preg]
+                    assert avail is not None and avail <= horizon
+                # oldest-first within the cluster
+                for other in insts:
+                    if (
+                        other.cluster == inst.cluster
+                        and other.uid in ready_before
+                        and other.uid < inst.uid
+                    ):
+                        assert other in issued
+            # entries are retained until confirmed: count never drops
+            assert iq.count == inserted
+            assert iq.unissued_count() + iq.issued_waiting == inserted
+        # spec_avail never retracted here, so everything with known
+        # sources eventually issues
+        for inst in insts:
+            if all(
+                spec_avail[preg] is not None for preg in inst.src_pregs
+            ):
+                assert inst.issue_cycle >= 0
+        assert issued_total == sum(1 for i in insts if i.issue_cycle >= 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7),
+                 min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_port_limit_bounds_issue_width(self, clusters, ports):
+        """Base-machine issue never reads more RF ports than exist."""
+        config = CoreConfig.base(rf_read_ports=ports)
+        regfile = PhysRegFile(config.num_pregs)
+        regfile.spec_avail[0] = 0
+        regfile.spec_avail[1] = 0
+        iq = IssueQueue(config, regfile)
+        for cluster in clusters:
+            iq.insert(_iq_inst(cluster, [0, 1]), cycle=0)
+        issued = iq.select(0)
+        assert sum(len(inst.src_pregs) for inst in issued) <= ports
