@@ -15,6 +15,8 @@ Subcommands::
     loopsim verify --differential          cross-config consistency laws
     loopsim verify --fuzz --budget 60      fuzz random configs/workloads
     loopsim verify --replay case.json      re-run a fuzz reproducer
+    loopsim explore                        search the DRA design space
+    loopsim explore --space smoke ...      tiny CI-sized exploration
 
 Figure and ablation campaigns run on the fault-tolerant harness
 (:mod:`repro.harness`): ``--jobs N`` runs cells in parallel worker
@@ -352,6 +354,54 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import (
+        DEFAULT_WORKLOADS,
+        HalvingSettings,
+        PruneSettings,
+        named_space,
+        run_exploration,
+    )
+
+    space = named_space(args.space)
+    workloads = (
+        tuple(args.workloads.split(",")) if args.workloads
+        else DEFAULT_WORKLOADS
+    )
+    halving = HalvingSettings(
+        rungs=args.rungs,
+        eta=args.eta,
+        base_instructions=args.base_instructions,
+        growth=args.growth,
+        seeds=tuple(range(args.seeds)),
+        warmup=args.warmup,
+        detailed_warmup=args.detailed_warmup,
+        budget=args.budget,
+    )
+    result = run_exploration(
+        space,
+        workloads=workloads,
+        halving=halving,
+        harness=_harness(args),
+        prune=(
+            PruneSettings(margin=args.prune_margin)
+            if not args.no_prune else False
+        ),
+        sample=args.sample,
+        seed=args.seed,
+        store_dir=args.store,
+        bench_out=args.bench_out,
+    )
+    print(result.render())
+    if result.search.failures:
+        return 1
+    if not result.frontier.frontier:
+        print("error: exploration produced an empty frontier",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     print("single-threaded workloads:")
     for name, profile in SPEC95_PROFILES.items():
@@ -477,6 +527,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run a fuzz reproducer instead of sweeping",
     )
     verify_parser.set_defaults(func=_cmd_verify)
+
+    explore_parser = sub.add_parser(
+        "explore",
+        help="model-guided design-space search: analytical pruning, "
+             "budgeted successive halving, Pareto frontier, versioned "
+             "result ledger",
+    )
+    explore_parser.add_argument(
+        "--space", default="dra", choices=("dra", "smoke"),
+        help="named parameter space (default dra: rf x CRC size x "
+             "insertion policy with the base machines pinned)",
+    )
+    explore_parser.add_argument(
+        "--workloads", default="",
+        help="comma-separated scoring workloads "
+             "(default compress,swim)",
+    )
+    explore_parser.add_argument(
+        "--rungs", type=int, default=3,
+        help="successive-halving rungs (default 3)",
+    )
+    explore_parser.add_argument(
+        "--eta", type=int, default=3,
+        help="keep ~1/eta of each group per rung (default 3)",
+    )
+    explore_parser.add_argument(
+        "--base-instructions", type=int, default=1_000,
+        help="detailed instructions at the cheapest rung (default 1000)",
+    )
+    explore_parser.add_argument(
+        "--growth", type=int, default=3,
+        help="instruction multiplier between rungs (default 3)",
+    )
+    explore_parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="seeds averaged per cell (default 1)",
+    )
+    explore_parser.add_argument(
+        "--warmup", type=int, default=30_000,
+        help="functional warmup per run (default 30000)",
+    )
+    explore_parser.add_argument(
+        "--detailed-warmup", type=int, default=500,
+        help="detailed warmup per run (default 500)",
+    )
+    explore_parser.add_argument(
+        "--budget", type=int, default=None, metavar="INSTRUCTIONS",
+        help="total detailed-instruction budget; rungs that would "
+             "overdraw it are skipped",
+    )
+    explore_parser.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="deterministically sample N grid points instead of the "
+             "exhaustive grid (baselines always included)",
+    )
+    explore_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="sampling seed (default 0)",
+    )
+    explore_parser.add_argument(
+        "--no-prune", action="store_true",
+        help="disable the analytical pre-filter",
+    )
+    explore_parser.add_argument(
+        "--prune-margin", type=float, default=0.12,
+        help="relative predicted-IPC gap the loop model must show "
+             "before skipping a candidate (default 0.12)",
+    )
+    explore_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append the exploration to the versioned ledger in DIR "
+             "and diff against the previous frontier",
+    )
+    explore_parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write the BENCH_explore.json accounting file "
+             "(instruction savings vs the exhaustive grid)",
+    )
+    explore_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent simulation workers (default 1)",
+    )
+    explore_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per simulation cell",
+    )
+    explore_parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse cached cells from an earlier run",
+    )
+    explore_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location",
+    )
+    explore_parser.add_argument(
+        "--verify", action="store_true",
+        help="run every cell under the differential verifier",
+    )
+    explore_parser.set_defaults(func=_cmd_explore)
 
     trace_parser = sub.add_parser(
         "trace", help="pipeview-style per-instruction timeline"

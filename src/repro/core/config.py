@@ -71,6 +71,16 @@ class DRAConfig:
     #: §4 argues against ("a small register cache results in a high miss
     #: rate ... may need to be of comparable size to a register file").
     centralized: bool = False
+    #: When a value writes back, which registers are copied into the
+    #: CRCs of the clusters that may still need them:
+    #:
+    #: * ``"filtered"`` — only registers whose insertion table recorded
+    #:   outstanding consumers (the paper's §5.3 design; the insertion
+    #:   table exists precisely to filter these copies).
+    #: * ``"always"`` — every writeback is broadcast into every CRC,
+    #:   the unfiltered strawman: same storage cost, but pollution
+    #:   evicts live entries earlier and raises the operand miss rate.
+    insertion_policy: str = "filtered"
     #: Whether instructions replayed in a load shadow still read the
     #: forwarding buffer for their valid operands (and so decrement the
     #: insertion-table consumer counts).  The default (False) models a
@@ -89,6 +99,10 @@ class DRAConfig:
             raise ValueError("insertion counters need at least one bit")
         if self.payload_transit < 0 or self.frontend_stall < 0:
             raise ValueError("latencies cannot be negative")
+        if self.insertion_policy not in ("filtered", "always"):
+            raise ValueError(
+                f"unknown insertion policy: {self.insertion_policy!r}"
+            )
 
     @property
     def counter_max(self) -> int:

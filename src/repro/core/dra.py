@@ -214,12 +214,15 @@ class DRAEngine:
         """Value leaves the forwarding buffer for the register file.
 
         The RPFT bit is set, and a copy goes to every cluster whose
-        insertion table still records outstanding consumers.
+        insertion table still records outstanding consumers — or, under
+        the unfiltered ``"always"`` strawman policy, to every cluster
+        unconditionally (same storage, more pollution).
         """
         self.rpft.on_writeback(preg)
+        unfiltered = self.config.insertion_policy == "always"
         for cluster, (table, crc) in enumerate(zip(self.tables, self.crcs)):
             count = table.count(preg)
-            if count > 0:
+            if count > 0 or unfiltered:
                 if self.config.oracle_crc:
                     evicted = crc.insert_oracle(preg, consumers=count)
                 else:

@@ -117,7 +117,7 @@ def simulate(
         config = CoreConfig.base()
     if isinstance(workload, str):
         name = workload
-        # raises WorkloadError (WorkloadKeyError shim) for unknown names
+        # raises WorkloadError for unknown names
         profiles = workload_profiles(workload)
     else:
         profiles = list(workload)

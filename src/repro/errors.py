@@ -17,12 +17,10 @@ of :class:`ReproError`; the subclass encodes the *recovery policy*:
 
 ``ConfigError`` doubles as a ``ValueError`` so call sites written
 against the built-in exception keep working.  ``WorkloadError`` used to
-double as a ``KeyError`` the same way; that wart is being retired —
-``WorkloadError`` itself is now a clean :class:`ReproError`, and unknown
-workload names raise :class:`WorkloadKeyError`, a transitional subclass
-that still inherits ``KeyError`` so legacy ``except KeyError`` call
-sites keep working for one release.  Catch ``WorkloadError``; the shim
-class disappears next release.
+double as a ``KeyError`` the same way; that wart is gone — unknown
+workload names raise a plain :class:`WorkloadError` (the transitional
+``WorkloadKeyError`` shim served its one scheduled release and has been
+deleted).
 """
 
 from __future__ import annotations
@@ -41,19 +39,6 @@ class ConfigError(ReproError, ValueError):
 
 class WorkloadError(ReproError):
     """Unknown or unresolvable workload name."""
-
-
-class WorkloadKeyError(WorkloadError, KeyError):
-    """Deprecated transitional form of :class:`WorkloadError`.
-
-    Raised (instead of plain ``WorkloadError``) for exactly one release
-    so call sites written against the original bare-``KeyError`` raise
-    keep working.  New code must catch :class:`WorkloadError`; the next
-    release raises that directly and deletes this class.
-    """
-
-    # KeyError.__str__ repr-quotes its argument; keep plain messages.
-    __str__ = Exception.__str__
 
 
 class VerificationError(ReproError):

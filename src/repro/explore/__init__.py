@@ -1,0 +1,98 @@
+"""Model-guided design-space exploration.
+
+The paper's thesis is a claim about a *design space* — loop delay, not
+pipeline length, decides performance — and the DRA is one point in the
+space of register-file latencies, CRC sizes, insertion policies and
+recovery schemes.  This subsystem searches that space instead of
+enumerating it:
+
+* :mod:`repro.explore.space` — declarative parameter-space specs with
+  deterministic seeded sampling and an exhaustive-grid fallback;
+* :mod:`repro.explore.prune` — an analytical pre-filter scoring
+  candidates with the §1 first-order loop model before any detailed
+  simulation, self-calibrating against every rung it runs;
+* :mod:`repro.explore.scheduler` — budget-aware successive halving
+  (ASHA-style) executed through the fault-tolerant harness;
+* :mod:`repro.explore.pareto` — IPC-vs-hardware-cost frontier
+  extraction with weak-dominance semantics;
+* :mod:`repro.explore.store` — an append-only versioned result ledger
+  so successive explorations diff against prior frontiers;
+* :mod:`repro.explore.engine` — the one-call driver behind the
+  ``repro explore`` CLI subcommand.
+"""
+
+from repro.explore.engine import (
+    DEFAULT_WORKLOADS,
+    ExplorationResult,
+    run_exploration,
+)
+from repro.explore.pareto import (
+    FrontierPoint,
+    FrontierReport,
+    HardwareCost,
+    build_frontier,
+    dominates,
+    hardware_cost,
+    pareto_frontier,
+)
+from repro.explore.prune import (
+    AnalyticalPruner,
+    Prediction,
+    PruneDecision,
+    PruneSettings,
+    predict_ipc,
+)
+from repro.explore.scheduler import (
+    HalvingSettings,
+    RungRecord,
+    SearchResult,
+    run_search,
+)
+from repro.explore.space import (
+    Axis,
+    Candidate,
+    ParameterSpace,
+    discrete,
+    dra_space,
+    int_range,
+    named_space,
+    smoke_space,
+)
+from repro.explore.store import (
+    ExplorationStore,
+    FrontierDiff,
+    diff_frontiers,
+)
+
+__all__ = [
+    "AnalyticalPruner",
+    "Axis",
+    "Candidate",
+    "DEFAULT_WORKLOADS",
+    "ExplorationResult",
+    "ExplorationStore",
+    "FrontierDiff",
+    "FrontierPoint",
+    "FrontierReport",
+    "HalvingSettings",
+    "HardwareCost",
+    "ParameterSpace",
+    "Prediction",
+    "PruneDecision",
+    "PruneSettings",
+    "RungRecord",
+    "SearchResult",
+    "build_frontier",
+    "diff_frontiers",
+    "discrete",
+    "dominates",
+    "dra_space",
+    "hardware_cost",
+    "int_range",
+    "named_space",
+    "pareto_frontier",
+    "predict_ipc",
+    "run_exploration",
+    "run_search",
+    "smoke_space",
+]

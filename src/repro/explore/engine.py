@@ -1,0 +1,287 @@
+"""The exploration engine: prune -> halve -> frontier -> ledger.
+
+:func:`run_exploration` is the one-call driver behind the ``repro
+explore`` CLI subcommand and ``examples/dra_frontier.py``:
+
+1. enumerate (or deterministically sample) the parameter space;
+2. pre-filter with the analytical loop model (:mod:`.prune`), skipping
+   candidates the first-order arithmetic already dominates;
+3. run budget-aware successive halving over the survivors
+   (:mod:`.scheduler`), every rung through the fault-tolerant harness;
+4. extract the IPC-vs-hardware-cost Pareto frontier from the final
+   rung (:mod:`.pareto`);
+5. append the exploration record to the versioned ledger (:mod:`.store`)
+   and diff it against the previous record of the same space;
+6. write the ``BENCH_explore.json`` accounting file recording how many
+   detailed-simulation instructions the search saved against the
+   exhaustive grid.
+
+The paper-ordering check (:meth:`ExplorationResult.ordering_ok`) states
+Figure 8 as a predicate over the final rung: at every register-file
+latency in the space, the best surviving DRA design is at least as fast
+as the pinned base machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.report import format_heading, format_table
+from repro.errors import ConfigError
+from repro.experiments.runner import HarnessSettings
+from repro.explore.pareto import FrontierReport, build_frontier
+from repro.explore.prune import AnalyticalPruner, PruneDecision, PruneSettings
+from repro.explore.scheduler import HalvingSettings, SearchResult, run_search
+from repro.explore.space import Candidate, ParameterSpace
+from repro.explore.store import ExplorationStore, FrontierDiff, diff_frontiers
+
+#: Schema of the BENCH_explore.json accounting file.
+BENCH_SCHEMA = 1
+
+#: Default workloads for exploration scoring: one integer and one FP
+#: code keeps campaigns affordable while exercising both behaviours.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("compress", "swim")
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced."""
+
+    space: ParameterSpace
+    workloads: Tuple[str, ...]
+    search: SearchResult
+    frontier: FrontierReport
+    pruned: List[PruneDecision]
+    calibration: Dict[str, Any]
+    #: detailed instructions an exhaustive full-fidelity grid would cost.
+    exhaustive_instructions: int
+    ledger_version: Optional[int] = None
+    ledger_diff: Optional[FrontierDiff] = None
+
+    @property
+    def spent_instructions(self) -> int:
+        return self.search.spent_instructions
+
+    @property
+    def savings_fraction(self) -> float:
+        """Detailed-simulation instructions saved vs. the full grid."""
+        if self.exhaustive_instructions == 0:
+            return 0.0
+        return 1.0 - self.spent_instructions / self.exhaustive_instructions
+
+    # --- the paper's ordering, as a predicate ------------------------------
+
+    def ordering(self) -> List[Tuple[int, str, float, float]]:
+        """Per rf latency: (rf, best DRA label, best DRA ipc, base ipc).
+
+        Only rf groups whose base *and* at least one DRA design reached
+        the final rung appear.
+        """
+        rows = []
+        scores = self.search.final_scores
+        by_rf: Dict[int, Dict[str, float]] = {}
+        for label, score in scores.items():
+            candidate = self.search.candidate(label)
+            rf = candidate.value("rf")
+            by_rf.setdefault(rf, {})[label] = score
+        for rf in sorted(by_rf):
+            group = by_rf[rf]
+            base_label = f"base,rf={rf}"
+            dra = {
+                label: ipc for label, ipc in group.items()
+                if label != base_label
+            }
+            if base_label not in group or not dra:
+                continue
+            best_label = min(dra, key=lambda l: (-dra[l], l))
+            rows.append((rf, best_label, dra[best_label], group[base_label]))
+        return rows
+
+    def ordering_ok(self) -> bool:
+        """Figure 8's claim: best DRA >= base at every rf latency."""
+        rows = self.ordering()
+        return bool(rows) and all(dra >= base for _, _, dra, base in rows)
+
+    # --- rendering / accounting -------------------------------------------
+
+    def bench_record(self) -> Dict[str, Any]:
+        """The BENCH_explore.json payload."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "space": self.space.name,
+            "space_signature": self.space.signature(),
+            "workloads": list(self.workloads),
+            "candidates": len(self.search.candidates) + len(self.pruned),
+            "pruned": len(self.pruned),
+            "rungs": [rung.to_json() for rung in self.search.rungs],
+            "spent_detailed_instructions": self.spent_instructions,
+            "exhaustive_detailed_instructions": self.exhaustive_instructions,
+            "savings_fraction": self.savings_fraction,
+            "frontier_size": len(self.frontier.frontier),
+            "ordering_ok": self.ordering_ok(),
+            "calibration": {
+                k: v for k, v in self.calibration.items() if k != "records"
+            },
+        }
+
+    def ledger_record(self) -> Dict[str, Any]:
+        """The ledger payload (frontier + full accounting)."""
+        return {
+            "space": self.space.signature(),
+            "space_name": self.space.name,
+            "workloads": list(self.workloads),
+            "frontier": [p.to_json() for p in self.frontier.frontier],
+            "rungs": [rung.to_json() for rung in self.search.rungs],
+            "pruned": [d.describe() for d in self.pruned],
+            "calibration": self.calibration,
+            "bench": {
+                "spent_detailed_instructions": self.spent_instructions,
+                "exhaustive_detailed_instructions":
+                    self.exhaustive_instructions,
+                "savings_fraction": self.savings_fraction,
+            },
+        }
+
+    def render(self) -> str:
+        parts = [format_heading(
+            f"Design-space exploration: {self.space.name} "
+            f"({len(self.search.candidates) + len(self.pruned)} candidates, "
+            f"workloads: {', '.join(self.workloads)})"
+        )]
+        if self.pruned:
+            parts.append(
+                f"\nanalytically pruned ({len(self.pruned)} candidates, "
+                "no simulation spent):"
+            )
+            parts.extend(f"  {d.describe()}" for d in self.pruned)
+        for rung in self.search.rungs:
+            scored = sorted(
+                (
+                    (label, score)
+                    for label, score in rung.scores.items()
+                    if score is not None
+                ),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+            parts.append(
+                f"\nrung {rung.index} ({rung.instructions} instructions, "
+                f"{len(rung.scores)} candidates -> "
+                f"{len(rung.survivors)} promoted):"
+            )
+            survivors = set(rung.survivors)
+            parts.extend(
+                f"  {'->' if label in survivors else '  '} "
+                f"{label:32s} ipc {score:.3f}"
+                for label, score in scored
+            )
+        rows = self.ordering()
+        if rows:
+            parts.append("\npaper ordering (final rung, Figure 8):")
+            headers = ["rf", "best DRA design", "DRA ipc", "base ipc", "ok"]
+            parts.append(format_table(headers, [
+                [rf, label, f"{dra:.3f}", f"{base:.3f}",
+                 "yes" if dra >= base else "NO"]
+                for rf, label, dra, base in rows
+            ]))
+        parts.append("\n" + self.frontier.render())
+        parts.append(
+            f"\ndetailed-simulation spend: {self.spent_instructions} "
+            f"instructions vs {self.exhaustive_instructions} exhaustive "
+            f"({self.savings_fraction:.1%} saved)"
+        )
+        if self.calibration.get("count"):
+            parts.append(
+                "prune-model calibration: "
+                f"{self.calibration['count']} points, mean |error| "
+                f"{self.calibration['mean_abs_rel_error']:.1%}, max "
+                f"{self.calibration['max_abs_rel_error']:.1%}"
+            )
+        if self.search.truncated:
+            parts.append("note: the budget truncated the rung ladder")
+        if self.ledger_version is not None:
+            parts.append(
+                f"ledger: recorded exploration v{self.ledger_version}"
+            )
+        if self.ledger_diff is not None:
+            parts.append(self.ledger_diff.describe())
+        failures = self.search.failures
+        if failures:
+            parts.append(f"\n{len(failures)} cell failure(s):")
+            parts.extend(f"  {f.describe()}" for f in failures)
+        return "\n".join(parts)
+
+
+def run_exploration(
+    space: ParameterSpace,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    halving: Optional[HalvingSettings] = None,
+    harness: Optional[HarnessSettings] = None,
+    prune: Union[bool, PruneSettings] = True,
+    sample: Optional[int] = None,
+    seed: int = 0,
+    store_dir: Optional[Union[str, Path]] = None,
+    bench_out: Optional[Union[str, Path]] = None,
+) -> ExplorationResult:
+    """Run one full exploration (see module docstring for the phases)."""
+    halving = halving or HalvingSettings()
+    candidates: List[Candidate] = (
+        space.sample(sample, seed) if sample is not None else space.grid()
+    )
+    if not candidates:
+        raise ConfigError("the space produced no candidates")
+
+    pruner: Optional[AnalyticalPruner] = None
+    decisions: List[PruneDecision] = []
+    if prune:
+        settings = prune if isinstance(prune, PruneSettings) else None
+        pruner = AnalyticalPruner(workloads, settings)
+        candidates, decisions = pruner.filter(candidates)
+
+    search = run_search(candidates, workloads, halving, harness)
+
+    # calibrate the analytical model against every rung-0 measurement
+    # (the widest rung sees the most candidates)
+    if pruner is not None and search.rungs:
+        first = search.rungs[0]
+        for candidate in search.candidates:
+            measured = first.scores.get(candidate.label)
+            if measured is not None:
+                pruner.record(candidate, measured)
+
+    frontier = build_frontier([
+        (search.candidate(label), ipc)
+        for label, ipc in sorted(search.final_scores.items())
+    ])
+    total_candidates = len(search.candidates) + len(decisions)
+    exhaustive = (
+        total_candidates * halving.final_instructions
+        * len(workloads) * len(halving.seeds)
+    )
+    result = ExplorationResult(
+        space=space,
+        workloads=tuple(workloads),
+        search=search,
+        frontier=frontier,
+        pruned=decisions,
+        calibration=pruner.calibration() if pruner else {"count": 0},
+        exhaustive_instructions=exhaustive,
+    )
+
+    if store_dir is not None:
+        store = ExplorationStore(store_dir)
+        previous = store.latest(space.signature())
+        record = result.ledger_record()
+        result.ledger_version = store.append(record)
+        if previous is not None:
+            result.ledger_diff = diff_frontiers(previous, record)
+
+    if bench_out is not None:
+        path = Path(bench_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(result.bench_record(), indent=2, sort_keys=True)
+        )
+    return result

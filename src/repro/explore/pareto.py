@@ -1,0 +1,186 @@
+"""Multi-objective frontier extraction: IPC vs. modelled hardware cost.
+
+The paper's argument is never "the DRA is faster" alone — it is faster
+*at a lower register-file port count and a shorter issue pipe, paid for
+with small per-cluster caches*.  That is a multi-objective statement,
+so the explorer reports a Pareto frontier rather than a single winner.
+
+Objectives:
+
+* **IPC** — maximised (measured, seed-averaged).
+* **CRC storage** — minimised: total register-cache entries across
+  clusters (0 for the base machine).
+* **RF read ports** — minimised: the issue path's register-file port
+  demand.  The base machine needs its full ``rf_read_ports``; the DRA's
+  issue path reads forwarding buffer + CRC instead, leaving only the
+  rename-time pre-read bandwidth (§5.2).
+* **Pipeline length** — minimised: decode-to-execute cycles, the
+  latency the paper's Figures 4-5 tax.
+
+Dominance is the standard weak-dominance test: ``a`` dominates ``b``
+when it is no worse on every objective and strictly better on at least
+one.  Points with *identical* objective vectors tie and are all kept —
+the frontier is a set of designs, not a ranking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_heading, format_table
+from repro.core.config import CoreConfig
+from repro.explore.space import Candidate
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """The modelled cost axes of one configuration (all minimised)."""
+
+    crc_entries_total: int
+    rf_read_ports: int
+    pipeline_length: int
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.crc_entries_total, self.rf_read_ports,
+                self.pipeline_length)
+
+    def dominates_cost(self, other: "HardwareCost") -> bool:
+        """Component-wise <= (weak cost dominance)."""
+        return all(a <= b for a, b in zip(self.as_tuple(), other.as_tuple()))
+
+
+def hardware_cost(config: CoreConfig) -> HardwareCost:
+    """First-order hardware cost of one machine configuration."""
+    if config.dra is not None:
+        clusters = 1 if config.dra.centralized else config.num_clusters
+        crc_total = config.dra.crc_entries * clusters
+        # the DRA issue path reads FB/CRC; the RF only serves the
+        # rename-time pre-read (one port per rename slot, §5.2)
+        ports = config.rename_width
+    else:
+        crc_total = 0
+        ports = config.rf_read_ports
+    return HardwareCost(
+        crc_entries_total=crc_total,
+        rf_read_ports=ports,
+        pipeline_length=config.decode_to_execute,
+    )
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One evaluated candidate: measured IPC plus modelled cost."""
+
+    candidate: Candidate
+    ipc: float
+    cost: HardwareCost
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+    def objectives(self) -> Tuple[float, int, int, int]:
+        """(ipc, *cost) — the full objective vector."""
+        return (self.ipc,) + self.cost.as_tuple()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "assignment": dict(self.candidate.assignment),
+            "config": self.candidate.config.label,
+            "ipc": self.ipc,
+            "cost": {
+                "crc_entries_total": self.cost.crc_entries_total,
+                "rf_read_ports": self.cost.rf_read_ports,
+                "pipeline_length": self.cost.pipeline_length,
+            },
+        }
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """Whether ``a`` weakly dominates ``b`` with a strict improvement."""
+    if a.ipc < b.ipc or not a.cost.dominates_cost(b.cost):
+        return False
+    return a.objectives() != b.objectives()
+
+
+def pareto_frontier(points: Sequence[FrontierPoint]) -> List[FrontierPoint]:
+    """The non-dominated subset, in deterministic label order.
+
+    Exact objective-vector ties all survive; a single-axis space
+    degenerates to the usual argmax/argmin.
+    """
+    frontier = [
+        p for p in points
+        if not any(dominates(q, p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.label)
+
+
+@dataclass
+class FrontierReport:
+    """A rendered/serialisable frontier with its dominated backdrop."""
+
+    frontier: List[FrontierPoint]
+    dominated: List[FrontierPoint]
+
+    def point(self, label: str) -> Optional[FrontierPoint]:
+        """Look up a frontier point by candidate label."""
+        for p in self.frontier:
+            if p.label == label:
+                return p
+        return None
+
+    def render(self) -> str:
+        headers = [
+            "candidate", "ipc", "crc entries", "rf ports", "pipe len",
+            "frontier",
+        ]
+        rows = []
+        ranked = sorted(
+            self.frontier + self.dominated,
+            key=lambda p: (-p.ipc, p.label),
+        )
+        on_frontier = {id(p) for p in self.frontier}
+        for p in ranked:
+            rows.append([
+                p.label,
+                f"{p.ipc:.3f}",
+                p.cost.crc_entries_total,
+                p.cost.rf_read_ports,
+                p.cost.pipeline_length,
+                "*" if id(p) in on_frontier else "",
+            ])
+        return (
+            format_heading("Pareto frontier: IPC vs modelled hardware cost")
+            + "\n" + format_table(headers, rows)
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "frontier": [p.to_json() for p in self.frontier],
+            "dominated": [p.to_json() for p in self.dominated],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def build_frontier(
+    scored: Sequence[Tuple[Candidate, float]],
+) -> FrontierReport:
+    """Frontier extraction over (candidate, measured ipc) pairs."""
+    points = [
+        FrontierPoint(
+            candidate=candidate,
+            ipc=ipc,
+            cost=hardware_cost(candidate.config),
+        )
+        for candidate, ipc in scored
+    ]
+    frontier = pareto_frontier(points)
+    keep = {id(p) for p in frontier}
+    dominated = [p for p in points if id(p) not in keep]
+    return FrontierReport(frontier=frontier, dominated=dominated)

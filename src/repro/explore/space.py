@@ -1,0 +1,263 @@
+"""Declarative parameter spaces over :class:`~repro.core.CoreConfig`.
+
+A :class:`ParameterSpace` is a set of named axes (discrete value lists
+or integer ranges) plus a builder that turns one assignment — a value
+per axis — into a concrete machine configuration.  The space can be
+enumerated exhaustively (:meth:`ParameterSpace.grid`) or sampled
+deterministically under a seed (:meth:`ParameterSpace.sample`); both
+orders are stable, which is what makes exploration runs reproducible
+and diffable across ledger versions.
+
+*Baseline* candidates — reference machines the search must never drop,
+such as the paper's base pipeline at each register-file latency — are
+attached to the space as *pinned* candidates: they ride through every
+scheduler rung and pre-filter untouched, so every exploration ends with
+the comparisons the paper's figures are built on.
+
+:func:`dra_space` builds the space this repository exists to search:
+register-file read latency x CRC size x insertion-table policy, with
+the matching base machines pinned (the §6 design space, generalised
+from the hand-written per-figure scripts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CoreConfig, DRAConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named dimension of the space with a finite value list."""
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("axis needs a name")
+        if not self.values:
+            raise ConfigError(f"axis {self.name!r} has no values")
+        if len(set(map(repr, self.values))) != len(self.values):
+            raise ConfigError(f"axis {self.name!r} has duplicate values")
+
+
+def discrete(name: str, values: Sequence[Any]) -> Axis:
+    """A discrete axis over an explicit value list."""
+    return Axis(name=name, values=tuple(values))
+
+
+def int_range(name: str, lo: int, hi: int, step: int = 1) -> Axis:
+    """An inclusive integer range axis (``lo``, ``lo+step``, ... <= hi)."""
+    if step < 1:
+        raise ConfigError(f"axis {name!r}: step must be >= 1")
+    if hi < lo:
+        raise ConfigError(f"axis {name!r}: empty range [{lo}, {hi}]")
+    return Axis(name=name, values=tuple(range(lo, hi + 1, step)))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the space: an assignment and its built machine."""
+
+    #: (axis name, value) pairs in the space's axis order.
+    assignment: Tuple[Tuple[str, Any], ...]
+    config: CoreConfig
+    #: Unique human-readable identity, stable across runs (ledger key).
+    label: str
+    #: Scheduler selection group; candidates compete for rung promotion
+    #: only within their group ('' = one global group).
+    group: str = ""
+    #: Pinned candidates are never pruned or halved away.
+    pinned: bool = False
+
+    def value(self, axis: str) -> Any:
+        """The assignment's value for one axis."""
+        for name, value in self.assignment:
+            if name == axis:
+                return value
+        raise KeyError(axis)
+
+    @property
+    def values(self) -> Dict[str, Any]:
+        """The assignment as a dict."""
+        return dict(self.assignment)
+
+
+class ParameterSpace:
+    """Axes + builder = an enumerable/sampleable configuration space."""
+
+    def __init__(
+        self,
+        axes: Sequence[Axis],
+        build: Callable[[Dict[str, Any]], CoreConfig],
+        *,
+        name: str = "space",
+        group_of: Optional[Callable[[Dict[str, Any]], str]] = None,
+        baselines: Sequence[Candidate] = (),
+    ) -> None:
+        if not axes:
+            raise ConfigError("a parameter space needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate axis names: {names}")
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+        self.build = build
+        self.name = name
+        self.group_of = group_of
+        self.baselines: Tuple[Candidate, ...] = tuple(baselines)
+
+    @property
+    def size(self) -> int:
+        """Number of grid points (baselines not included)."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def signature(self) -> str:
+        """A stable content hash of the space definition (ledger key)."""
+        text = "|".join(
+            [self.name]
+            + [f"{axis.name}={list(axis.values)!r}" for axis in self.axes]
+            + [candidate.label for candidate in self.baselines]
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def _decode(self, index: int) -> Dict[str, Any]:
+        """Mixed-radix decode of a grid index into an assignment."""
+        values: Dict[str, Any] = {}
+        for axis in reversed(self.axes):
+            index, digit = divmod(index, len(axis.values))
+            values[axis.name] = axis.values[digit]
+        return {axis.name: values[axis.name] for axis in self.axes}
+
+    def candidate(self, values: Dict[str, Any]) -> Candidate:
+        """Build the candidate for one complete assignment."""
+        missing = [a.name for a in self.axes if a.name not in values]
+        if missing:
+            raise ConfigError(f"assignment missing axes: {missing}")
+        assignment = tuple((a.name, values[a.name]) for a in self.axes)
+        label = ",".join(f"{name}={value}" for name, value in assignment)
+        return Candidate(
+            assignment=assignment,
+            config=self.build(dict(assignment)),
+            label=label,
+            group=self.group_of(dict(assignment)) if self.group_of else "",
+        )
+
+    def grid(self) -> List[Candidate]:
+        """Every point, in deterministic nested-axis order, + baselines."""
+        points = [self._decode(i) for i in range(self.size)]
+        return [self.candidate(v) for v in points] + list(self.baselines)
+
+    def sample(self, count: int, seed: int = 0) -> List[Candidate]:
+        """``count`` seeded distinct grid points (+ all baselines).
+
+        Falls back to the exhaustive grid whenever ``count`` covers the
+        space.  Sampling is without replacement and deterministic: the
+        same (space, count, seed) always yields the same candidates in
+        the same order.
+        """
+        if count <= 0:
+            raise ConfigError("sample count must be positive")
+        if count >= self.size:
+            return self.grid()
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(self.size), count))
+        sampled = [self.candidate(self._decode(i)) for i in indices]
+        return sampled + list(self.baselines)
+
+
+# ---------------------------------------------------------------------------
+# The spaces this repository ships with
+# ---------------------------------------------------------------------------
+
+#: The §6 register-file latencies.
+DRA_RF_LATENCIES: Tuple[int, ...] = (3, 5, 7)
+#: CRC sizes around the paper's 16-entry design point (§5.1).
+DRA_CRC_SIZES: Tuple[int, ...] = (8, 16, 32)
+#: Insertion-table policies: the paper's filtered copy-back and the
+#: unfiltered broadcast strawman.
+DRA_INSERTION_POLICIES: Tuple[str, ...] = ("always", "filtered")
+
+
+def _base_candidate(rf: int) -> Candidate:
+    """A pinned base-machine reference point at one rf latency."""
+    return Candidate(
+        assignment=(("rf", rf), ("crc", 0), ("insertion", "base")),
+        config=CoreConfig.base(rf),
+        label=f"base,rf={rf}",
+        group=f"rf{rf}",
+        pinned=True,
+    )
+
+
+def dra_space(
+    rf_latencies: Sequence[int] = DRA_RF_LATENCIES,
+    crc_sizes: Sequence[int] = DRA_CRC_SIZES,
+    insertion_policies: Sequence[str] = DRA_INSERTION_POLICIES,
+) -> ParameterSpace:
+    """The DRA design space with the base machines pinned.
+
+    Axes: register-file read latency (drives both machines' pipeline
+    geometry), CRC entries per cluster, and the insertion-table policy.
+    Grouping is per rf latency, so successive halving always carries at
+    least one DRA design *and* the pinned base machine at every rf to
+    the final rung — the comparison Figure 8 makes.
+    """
+
+    def build(values: Dict[str, Any]) -> CoreConfig:
+        return CoreConfig.with_dra(
+            values["rf"],
+            dra=DRAConfig(
+                crc_entries=values["crc"],
+                insertion_policy=values["insertion"],
+            ),
+        )
+
+    return ParameterSpace(
+        axes=[
+            discrete("rf", rf_latencies),
+            discrete("crc", crc_sizes),
+            discrete("insertion", insertion_policies),
+        ],
+        build=build,
+        name="dra",
+        group_of=lambda values: f"rf{values['rf']}",
+        baselines=[_base_candidate(rf) for rf in rf_latencies],
+    )
+
+
+def smoke_space() -> ParameterSpace:
+    """A tiny 2-axis space for CI smoke runs (4 points + 1 baseline)."""
+    space = dra_space(
+        rf_latencies=(3,),
+        crc_sizes=(4, 16),
+        insertion_policies=("always", "filtered"),
+    )
+    space.name = "smoke"
+    return space
+
+
+#: Named spaces the CLI can resolve.
+NAMED_SPACES: Dict[str, Callable[[], ParameterSpace]] = {
+    "dra": dra_space,
+    "smoke": smoke_space,
+}
+
+
+def named_space(name: str) -> ParameterSpace:
+    """Resolve a space by CLI name."""
+    try:
+        factory = NAMED_SPACES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown space {name!r}; known: {', '.join(sorted(NAMED_SPACES))}"
+        ) from None
+    return factory()

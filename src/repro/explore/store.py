@@ -1,0 +1,150 @@
+"""Append-only versioned exploration ledger (Perun-style result store).
+
+Explorations are expensive and their frontiers are *claims about the
+design space*; both deserve versioned persistence.  The store is a
+single JSON-lines file — one exploration record per line, never
+rewritten — so successive explorations of the same space can be diffed:
+which designs joined the frontier, which fell off, and which regressed
+in IPC beyond tolerance.  Keeping the ledger append-only makes every
+historical frontier reproducible evidence rather than a mutable cache.
+
+Records are schema-versioned; unknown schemas are surfaced, not
+silently skipped, because a regression check against a record you
+cannot read is not a check at all.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigError
+
+#: Bump when the ledger record layout changes incompatibly.
+LEDGER_SCHEMA = 1
+
+#: Relative IPC drop (same label, same space) flagged as a regression.
+DEFAULT_TOLERANCE = 0.02
+
+
+@dataclass
+class FrontierDiff:
+    """How one exploration's frontier moved against a previous one."""
+
+    #: Labels on the new frontier that the old one lacked.
+    added: List[str] = field(default_factory=list)
+    #: Labels the old frontier had and the new one dropped.
+    dropped: List[str] = field(default_factory=list)
+    #: label -> (old ipc, new ipc) for points whose IPC fell beyond
+    #: tolerance.
+    regressions: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = []
+        if self.added:
+            lines.append(f"frontier additions: {', '.join(self.added)}")
+        if self.dropped:
+            lines.append(f"frontier drops: {', '.join(self.dropped)}")
+        for label, (old, new) in sorted(self.regressions.items()):
+            lines.append(
+                f"REGRESSION {label}: ipc {old:.3f} -> {new:.3f} "
+                f"({(new - old) / old:+.1%})"
+            )
+        if not lines:
+            lines.append("frontier unchanged")
+        return "\n".join(lines)
+
+
+def diff_frontiers(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> FrontierDiff:
+    """Diff two ledger records' frontiers (regressions flag IPC drops)."""
+    old_points = {p["label"]: p for p in old.get("frontier", [])}
+    new_points = {p["label"]: p for p in new.get("frontier", [])}
+    diff = FrontierDiff(
+        added=sorted(set(new_points) - set(old_points)),
+        dropped=sorted(set(old_points) - set(new_points)),
+    )
+    for label in sorted(set(old_points) & set(new_points)):
+        old_ipc = old_points[label]["ipc"]
+        new_ipc = new_points[label]["ipc"]
+        if old_ipc > 0 and (old_ipc - new_ipc) / old_ipc > tolerance:
+            diff.regressions[label] = (old_ipc, new_ipc)
+    return diff
+
+
+class ExplorationStore:
+    """A JSON-lines ledger of exploration records rooted at a directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.path = self.root / "ledger.jsonl"
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Append one exploration record; returns its version number.
+
+        The record is stamped with the schema, a monotonically growing
+        version (its line number) and a wall-clock timestamp.  Existing
+        lines are never touched.
+        """
+        version = len(self.history())
+        stamped = dict(record)
+        stamped["schema"] = LEDGER_SCHEMA
+        stamped["version"] = version
+        stamped["timestamp"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stamped, sort_keys=True) + "\n")
+        return version
+
+    def history(self) -> List[Dict[str, Any]]:
+        """Every readable record, oldest first."""
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ConfigError(
+                        f"{self.path}:{line_number + 1}: corrupt ledger "
+                        f"line ({error})"
+                    ) from error
+                if record.get("schema") != LEDGER_SCHEMA:
+                    raise ConfigError(
+                        f"{self.path}:{line_number + 1}: unsupported "
+                        f"ledger schema {record.get('schema')!r} "
+                        f"(expected {LEDGER_SCHEMA})"
+                    )
+                records.append(record)
+        return records
+
+    def latest(
+        self, space_signature: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The newest record, optionally restricted to one space."""
+        for record in reversed(self.history()):
+            if (
+                space_signature is None
+                or record.get("space") == space_signature
+            ):
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.history())

@@ -45,7 +45,6 @@ from repro.errors import (
     TransientCellError,
     VerificationError,
     WorkloadError,
-    WorkloadKeyError,
     is_retryable,
 )
 from repro.harness.cache import ResultCache, cell_key, default_cache_dir
@@ -238,7 +237,7 @@ def _encode_error(error: BaseException) -> Dict[str, Any]:
 _ERROR_CLASSES = {
     cls.__name__: cls
     for cls in (
-        ReproError, ConfigError, WorkloadError, WorkloadKeyError,
+        ReproError, ConfigError, WorkloadError,
         SimulationHangError, CellTimeoutError, CellCrashError,
         TransientCellError, VerificationError,
     )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.errors import WorkloadKeyError
+from repro.errors import WorkloadError
 from repro.workloads.profiles import (
     SMOKE_PROFILES,
     SPEC95_PROFILES,
@@ -45,9 +45,7 @@ def workload_profiles(name: str) -> List[WorkloadProfile]:
     Single benchmarks return a one-element list; SMT pair names return
     two profiles.  Smoke workloads (``int_test``) resolve too, though
     they are not part of the paper's suite.  Raises
-    :class:`~repro.errors.WorkloadError` for unknown names (via the
-    one-release :class:`~repro.errors.WorkloadKeyError` shim, which
-    still satisfies legacy ``except KeyError`` callers).
+    :class:`~repro.errors.WorkloadError` for unknown names.
     """
     if name in SPEC95_PROFILES:
         return [SPEC95_PROFILES[name]]
@@ -55,7 +53,7 @@ def workload_profiles(name: str) -> List[WorkloadProfile]:
         return [SPEC95_PROFILES[part] for part in SMT_PAIRS[name]]
     if name in SMOKE_PROFILES:
         return [SMOKE_PROFILES[name]]
-    raise WorkloadKeyError(
+    raise WorkloadError(
         f"unknown workload {name!r}; known: "
         f"{', '.join(ALL_WORKLOADS + SMOKE_WORKLOADS)}"
     )

@@ -33,7 +33,9 @@ class TestSimulate:
         assert result.config.label == "Base:5_5"
 
     def test_unknown_workload(self):
-        with pytest.raises(KeyError):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
             simulate("quake")
 
     def test_speedup_over(self):

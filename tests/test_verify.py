@@ -14,7 +14,6 @@ from repro.errors import (
     ReproError,
     VerificationError,
     WorkloadError,
-    WorkloadKeyError,
     is_retryable,
 )
 from repro.obs.bus import EventBus
@@ -460,18 +459,15 @@ class TestWorkloadErrorCleanup:
         assert "unknown workload" in str(excinfo.value)
         assert "no_such_benchmark" in str(excinfo.value)
 
-    def test_transitional_shim_still_catches_as_keyerror(self):
-        """One release of compatibility: legacy ``except KeyError``."""
-        with pytest.raises(KeyError):
-            simulate("no_such_benchmark", instructions=10, warmup=0)
-
-    def test_shim_is_both(self):
-        error = WorkloadKeyError("boom")
-        assert isinstance(error, WorkloadError)
-        assert isinstance(error, KeyError)
+    def test_workload_error_is_no_longer_a_keyerror(self):
+        """The one-release ``WorkloadKeyError`` shim has been deleted."""
+        error = WorkloadError("boom")
         assert isinstance(error, ReproError)
-        # KeyError.__str__ would wrap the message in quotes
+        assert not isinstance(error, KeyError)
         assert str(error) == "boom"
+        assert not hasattr(
+            __import__("repro.errors", fromlist=[""]), "WorkloadKeyError"
+        )
 
     def test_verification_error_not_retryable(self):
         assert not is_retryable(VerificationError("x"))

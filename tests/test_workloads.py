@@ -58,7 +58,9 @@ class TestSuites:
         assert [p.name for p in profiles] == ["go", "su2cor"]
 
     def test_unknown_workload(self):
-        with pytest.raises(KeyError):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
             workload_profiles("doom")
 
     def test_profiles_are_registered_for_every_suite_entry(self):
