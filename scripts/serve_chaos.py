@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Chaos smoke test for the campaign service, against the real CLI.
+
+Unlike ``tests/test_serve.py`` (in-process servers), this drives
+``python -m repro serve`` subprocesses exactly as an operator would, and
+walks the service through its four headline robustness claims:
+
+1. **dedup** — two concurrent clients submitting the same cell get the
+   same result from exactly one simulation.
+2. **crash re-lease** — with an injected worker crash (``REPRO_FAULTS``)
+   and no harness retries, the service re-leases the job and the client
+   still gets its result.
+3. **kill -9 + resume** — SIGKILL a server with accepted-but-unfinished
+   jobs; ``loopsim serve --resume`` replays the journal and finishes
+   every one of them into the cache.
+4. **SIGTERM drain** — a terminated server exits 0 with a clean ``drain``
+   marker as its final journal record.
+
+Exit code 0 means every scenario held.  Used by the ``serve-smoke`` CI
+job; runnable locally with ``python scripts/serve_chaos.py``.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness import ResultCache  # noqa: E402
+from repro.serve import CampaignClient, build_cell, make_cell_spec  # noqa: E402
+from repro.serve.journal import last_drain, pending_jobs, read_records  # noqa: E402
+
+TINY = dict(instructions=300, warmup=2_000, detailed_warmup=80)
+WORKLOAD = "int_test"
+LISTEN_RE = re.compile(r"listening on [\d.]+:(\d+)")
+
+
+class Failure(Exception):
+    pass
+
+
+class Server:
+    """One ``loopsim serve`` subprocess."""
+
+    def __init__(self, workdir: Path, name: str, faults: str = "",
+                 extra_args=()):
+        self.workdir = workdir
+        self.journal = workdir / "journal.jsonl"
+        self.cache_dir = workdir / "cache"
+        self.log = workdir / f"{name}.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        if faults:
+            env["REPRO_FAULTS"] = faults
+        else:
+            env.pop("REPRO_FAULTS", None)
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--isolate", "inline",
+            "--journal", str(self.journal),
+            "--cache-dir", str(self.cache_dir),
+            *extra_args,
+        ]
+        self._log_handle = self.log.open("w")
+        self.process = subprocess.Popen(
+            command, env=env, cwd=str(workdir),
+            stdout=self._log_handle, stderr=subprocess.STDOUT,
+        )
+        self.port = self._wait_for_port()
+
+    def _wait_for_port(self, timeout: float = 30.0) -> int:
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if self.process.poll() is not None:
+                raise Failure(
+                    f"server died at startup:\n{self.log.read_text()}")
+            match = LISTEN_RE.search(self.log.read_text())
+            if match:
+                return int(match.group(1))
+            time.sleep(0.05)
+        raise Failure(f"server never listened:\n{self.log.read_text()}")
+
+    def client(self, **kwargs) -> CampaignClient:
+        return CampaignClient(port=self.port, **kwargs)
+
+    def metric(self, name: str) -> float:
+        with self.client() as client:
+            return client.stats()["metrics"].get(f"serve.{name}", 0)
+
+    def sigterm(self) -> None:
+        self.process.send_signal(signal.SIGTERM)
+
+    def sigkill(self) -> None:
+        self.process.kill()
+
+    def wait(self, timeout: float = 30.0) -> int:
+        try:
+            code = self.process.wait(timeout)
+        finally:
+            self._log_handle.close()
+        return code
+
+    def stop(self) -> None:
+        """Best-effort cleanup for failure paths."""
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(10)
+        if not self._log_handle.closed:
+            self._log_handle.close()
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        raise Failure(what)
+
+
+def scenario_dedup(root: Path) -> None:
+    """Two concurrent identical submits -> exactly one simulation."""
+    workdir = root / "dedup"
+    workdir.mkdir()
+    # The slow fault holds the one execution open so the submits overlap.
+    server = Server(workdir, "serve", faults="slow|*|*|*|1|1.0")
+    try:
+        replies = []
+        lock = threading.Lock()
+
+        def submit():
+            with server.client() as client:
+                reply = client.submit(WORKLOAD, want_result=False, **TINY)
+            with lock:
+                replies.append(reply)
+
+        first = threading.Thread(target=submit)
+        second = threading.Thread(target=submit)
+        first.start()
+        time.sleep(0.4)  # first submit is leased and sleeping
+        second.start()
+        first.join(60)
+        second.join(60)
+        check(len(replies) == 2 and all(r.ok for r in replies),
+              f"dedup submits failed: {replies}")
+        check(replies[0].ipc == replies[1].ipc,
+              "coalesced submits disagree on ipc")
+        check(any(r.dedup for r in replies), "second submit did not dedup")
+        executed = server.metric("executed")
+        check(executed == 1, f"expected 1 execution, saw {executed}")
+        print(f"  dedup: 2 clients, 1 execution, ipc={replies[0].ipc:.4f}")
+    finally:
+        server.stop()
+
+
+def scenario_crash_release(root: Path) -> None:
+    """Worker crash with no harness retries -> service re-leases."""
+    workdir = root / "crash"
+    workdir.mkdir()
+    server = Server(workdir, "serve", faults="crash|*|*|*|1",
+                    extra_args=("--retries", "0"))
+    try:
+        with server.client() as client:
+            reply = client.submit(WORKLOAD, want_result=False, **TINY)
+        check(reply.ok, f"crash-faulted submit failed: {reply.error_message}")
+        requeued = server.metric("requeued")
+        executed = server.metric("executed")
+        check(requeued >= 1, f"no re-lease recorded (requeued={requeued})")
+        check(executed >= 2, f"expected >=2 executions, saw {executed}")
+        records = [r["rec"] for r in read_records(server.journal)]
+        check("requeued" in records, "journal missing the requeue record")
+        print(f"  crash: lease re-queued (executions={executed:.0f}), "
+              f"result delivered ipc={reply.ipc:.4f}")
+    finally:
+        server.stop()
+
+
+def scenario_kill9_resume(root: Path) -> tuple:
+    """SIGKILL with a backlog -> --resume finishes every accepted job."""
+    workdir = root / "resume"
+    workdir.mkdir()
+    # Every first attempt naps far longer than the test: nothing can
+    # finish before the kill.
+    server = Server(workdir, "serve-a", faults="slow|*|*|*|1|600",
+                    extra_args=("--workers", "1"))
+    specs = [make_cell_spec(WORKLOAD, seed=seed, **TINY) for seed in range(5)]
+    keys = [build_cell(spec).key for spec in specs]
+    try:
+        with server.client() as client:
+            for spec in specs:
+                reply = client.submit_spec(spec, wait=False)
+                check(reply.ok, "submit not accepted")
+        server.sigkill()
+        code = server.wait()
+        check(code != 0, "SIGKILL'd server exited cleanly?!")
+    finally:
+        server.stop()
+    pending = pending_jobs(server.journal)
+    check(len(pending) == 5,
+          f"journal lost accepted jobs: {len(pending)}/5 pending")
+    check(last_drain(server.journal) is None, "dirty shutdown left a drain marker")
+
+    resumed = Server(workdir, "serve-b", extra_args=("--resume", "--workers", "2"))
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            check(resumed.process.poll() is None, "resumed server died")
+            if resumed.metric("completed") >= 5:
+                break
+            time.sleep(0.25)
+        check(resumed.metric("resumed") == 5,
+              f"replayed {resumed.metric('resumed')}/5 jobs")
+        check(resumed.metric("completed") >= 5,
+              f"resume finished {resumed.metric('completed')}/5 jobs")
+        cache = ResultCache(server.cache_dir)
+        missing = [key[:8] for key in keys if cache.get(key) is None]
+        check(not missing, f"cache missing resumed cells: {missing}")
+        print("  kill -9: 5 accepted jobs journaled, replayed and "
+              "finished after --resume")
+    except BaseException:
+        resumed.stop()
+        raise
+    return resumed, server.journal
+
+
+def scenario_sigterm_drain(resumed: Server, journal: Path) -> None:
+    """SIGTERM -> exit 0 with a final drain record."""
+    resumed.sigterm()
+    code = resumed.wait(30)
+    check(code == 0, f"drained server exited {code}")
+    log = resumed.log.read_text()
+    check("drained, bye" in log, f"no drain farewell in log:\n{log}")
+    records = read_records(journal)
+    check(records and records[-1]["rec"] == "drain",
+          "journal does not end with a drain record")
+    print("  SIGTERM: clean drain, exit 0, drain record journaled")
+
+
+def main() -> int:
+    started = time.time()
+    with tempfile.TemporaryDirectory(prefix="serve-chaos-") as tmp:
+        root = Path(tmp)
+        print("serve chaos: dedup under concurrency")
+        scenario_dedup(root)
+        print("serve chaos: worker crash -> lease re-queue")
+        scenario_crash_release(root)
+        print("serve chaos: kill -9 -> journal resume")
+        resumed, journal = scenario_kill9_resume(root)
+        print("serve chaos: SIGTERM -> graceful drain")
+        try:
+            scenario_sigterm_drain(resumed, journal)
+        finally:
+            resumed.stop()
+    print(f"serve chaos: all scenarios held ({time.time() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except Failure as failure:
+        print(f"serve chaos: FAILED: {failure}", file=sys.stderr)
+        sys.exit(1)

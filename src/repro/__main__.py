@@ -17,6 +17,10 @@ Subcommands::
     loopsim verify --replay case.json      re-run a fuzz reproducer
     loopsim explore                        search the DRA design space
     loopsim explore --space smoke ...      tiny CI-sized exploration
+    loopsim serve --journal j.jsonl        run the campaign service
+    loopsim serve --resume ...             ... replaying unfinished jobs
+    loopsim submit swim --dra --rf 5       run a cell through the service
+    loopsim submit --ping / --stats        service health / metrics
 
 Figure and ablation campaigns run on the fault-tolerant harness
 (:mod:`repro.harness`): ``--jobs N`` runs cells in parallel worker
@@ -402,6 +406,106 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeSettings, run_server
+
+    cache_dir = args.cache_dir or str(default_cache_dir())
+    harness = HarnessSettings(
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        cache_dir=cache_dir,
+        isolate=args.isolate,
+        verify=args.verify,
+    )
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        lane_depth=args.lane_depth,
+        lease_ttl=args.lease_ttl,
+        max_lease_attempts=args.lease_attempts,
+        journal_path=args.journal or None,
+        journal_fsync=args.fsync,
+        resume=args.resume,
+        harness=harness,
+    )
+    asyncio.run(run_server(settings))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import CampaignClient, ServiceError
+
+    client = CampaignClient(
+        host=args.host, port=args.port, timeout=args.timeout,
+        retries=args.retries,
+    )
+    with client:
+        if args.ping:
+            reply = client.health()
+            print(f"ok={reply.get('ok')} draining={reply.get('draining')} "
+                  f"uptime={reply.get('uptime')}s jobs={reply.get('jobs')} "
+                  f"leases={reply.get('leases')}")
+            return 0 if reply.get("ok") else 1
+        if args.stats:
+            reply = client.stats()
+            for name, value in sorted(reply.get("metrics", {}).items()):
+                print(f"  {name:40s} {value}")
+            cache = reply.get("cache")
+            if cache:
+                print(f"  {'cache.hits':40s} {cache['hits']}")
+                print(f"  {'cache.misses':40s} {cache['misses']}")
+            return 0
+        if args.status:
+            reply = client.status()
+            print(f"draining={reply.get('draining')} "
+                  f"queues={reply.get('queues')} jobs={reply.get('jobs')} "
+                  f"leases={reply.get('leases')}")
+            return 0
+        if args.drain:
+            client.drain()
+            print("drain requested")
+            return 0
+        if not args.workload:
+            print("error: submit needs a workload (or --ping/--stats/"
+                  "--status/--drain)", file=sys.stderr)
+            return 2
+        try:
+            reply = client.submit(
+                args.workload,
+                seed=args.seed,
+                priority=args.priority,
+                wait=not args.no_wait,
+                want_result=False,
+                dra=args.dra,
+                rf=args.rf,
+                recovery=args.recovery,
+                instructions=args.instructions,
+                warmup=args.warmup,
+                detailed_warmup=args.detailed_warmup,
+            )
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
+    if args.no_wait:
+        print(f"accepted job={reply.job} key={reply.key} "
+              f"dedup={reply.dedup}")
+        return 0
+    if reply.ok:
+        origin = ("cache" if reply.cached
+                  else "dedup" if reply.dedup else "fresh")
+        print(f"{args.workload}: ipc={reply.ipc:.4f} ({origin}, "
+              f"job={reply.job}, attempts={reply.attempts})")
+        for key, value in reply.summary.items():
+            print(f"  {key:26s} {value:12.4f}")
+        return 0
+    print(f"error: cell failed: {reply.error_kind}: "
+          f"{reply.error_message}", file=sys.stderr)
+    return 1
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     print("single-threaded workloads:")
     for name, profile in SPEC95_PROFILES.items():
@@ -626,6 +730,122 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every cell under the differential verifier",
     )
     explore_parser.set_defaults(func=_cmd_explore)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the campaign service: async TCP front end with "
+             "request dedup, priority lanes, leases, a crash-safe "
+             "journal and graceful drain",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7511,
+        help="listen port (default 7511; 0 picks a free one)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent cell executions (default 2)",
+    )
+    serve_parser.add_argument(
+        "--lane-depth", type=int, default=64,
+        help="queued jobs per priority lane before load shedding "
+             "(default 64)",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=120.0, metavar="SECONDS",
+        help="per-job lease budget; expiry requeues the job "
+             "(default 120)",
+    )
+    serve_parser.add_argument(
+        "--lease-attempts", type=int, default=3,
+        help="lease grants per job before it fails outright (default 3)",
+    )
+    serve_parser.add_argument(
+        "--journal", default="", metavar="PATH",
+        help="crash-safe job journal (JSONL); required for --resume",
+    )
+    serve_parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every journal record (safest, slower)",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="replay accepted-but-unfinished journal jobs on startup",
+    )
+    serve_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="harness watchdog budget per cell attempt",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="harness retries per lease for retryable failures "
+             "(default 2)",
+    )
+    serve_parser.add_argument(
+        "--isolate", default="auto", choices=("auto", "process", "inline"),
+        help="cell isolation mode (default auto: subprocesses whenever "
+             "a timeout is armed)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared content-addressed result store (default: "
+             "$REPRO_CACHE_DIR or ~/.cache/loopsim)",
+    )
+    serve_parser.add_argument(
+        "--verify", action="store_true",
+        help="run every cell under the differential verifier",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit one cell to a running campaign service "
+             "(or probe it with --ping/--stats/--status/--drain)",
+    )
+    submit_parser.add_argument(
+        "workload", nargs="?", default="",
+        help="workload name (any the server knows, incl. SMT pairs)",
+    )
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, default=7511)
+    submit_parser.add_argument("--dra", action="store_true",
+                               help="use the DRA pipeline")
+    submit_parser.add_argument("--rf", type=int, default=3,
+                               choices=(3, 5, 7),
+                               help="register-file read latency")
+    submit_parser.add_argument("--recovery", default="",
+                               choices=("", "reissue", "refetch", "stall"),
+                               help="load-miss recovery policy")
+    submit_parser.add_argument("--instructions", type=int, default=10_000)
+    submit_parser.add_argument("--warmup", type=int, default=100_000)
+    submit_parser.add_argument("--detailed-warmup", type=int, default=1_500)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument(
+        "--priority", default="interactive",
+        choices=("interactive", "batch"),
+        help="queue lane (default interactive)",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="return after acceptance instead of waiting for the result",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="socket timeout while waiting (default 300)",
+    )
+    submit_parser.add_argument(
+        "--retries", type=int, default=5,
+        help="resubmits after sheds/disconnects (default 5)",
+    )
+    submit_parser.add_argument("--ping", action="store_true",
+                               help="health-check the service and exit")
+    submit_parser.add_argument("--stats", action="store_true",
+                               help="print the service metrics snapshot")
+    submit_parser.add_argument("--status", action="store_true",
+                               help="print queue/job/lease occupancy")
+    submit_parser.add_argument("--drain", action="store_true",
+                               help="ask the service to drain gracefully")
+    submit_parser.set_defaults(func=_cmd_submit)
 
     trace_parser = sub.add_parser(
         "trace", help="pipeview-style per-instruction timeline"

@@ -38,6 +38,9 @@ from repro.harness.executor import (
 )
 from repro.harness.faults import (
     FAULTS_ENV,
+    SERVICE_KINDS,
+    SLOW_DELAY_CAP,
+    WORKER_KINDS,
     FaultSpec,
     active_fault,
     env_faults,
@@ -73,4 +76,7 @@ __all__ = [
     "env_faults",
     "active_fault",
     "FAULTS_ENV",
+    "WORKER_KINDS",
+    "SERVICE_KINDS",
+    "SLOW_DELAY_CAP",
 ]

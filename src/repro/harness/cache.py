@@ -101,28 +101,65 @@ class ResultCache:
                 pass
             raise
 
-    def get(self, key: str) -> Optional[Any]:
-        """The cached result for ``key``, or None on any kind of miss."""
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The validated payload dict for ``key``, or None (a miss).
+
+        Both :meth:`get` and :meth:`__contains__` route through here, so
+        they agree on what "present" means (readable, unpicklable,
+        current ``CACHE_VERSION``) and both count hit/miss stats.
+        """
         path = self.path(key)
+        stat: Optional[os.stat_result] = None
         try:
             with path.open("rb") as handle:
+                stat = os.fstat(handle.fileno())
                 payload = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
             # Corrupt entry (truncated write, unpicklable across
-            # versions, ...): drop it and recompute.
+            # versions, unreadable permissions, ...): treat as a miss;
+            # drop it if we can prove it is still the file we read.
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._remove_corrupt(path, stat)
             return None
         if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            # A stale-version entry is a miss but not garbage: leave it
+            # for put() to overwrite atomically after recomputation.
             self.misses += 1
             return None
         self.hits += 1
+        return payload
+
+    @staticmethod
+    def _remove_corrupt(path: Path, stat: Optional[os.stat_result]) -> None:
+        """Best-effort removal of a corrupt entry, tolerant of racing
+        writers.
+
+        A concurrent ``put`` may ``os.replace`` a fresh payload in at
+        any moment, so the unlink only fires when the path still refers
+        to the inode we actually read the garbage from; a rewrite (new
+        inode) or a racing reader's earlier unlink is left alone.  When
+        the entry could not even be opened (``stat`` is None, e.g. an
+        unreadable-permissions file) nothing is removed — ``put``'s
+        atomic replace supersedes it after recomputation.  Never raises.
+        """
+        if stat is None:
+            return
+        try:
+            current = os.stat(path)
+            if (current.st_dev, current.st_ino) != (stat.st_dev, stat.st_ino):
+                return  # a writer already replaced the entry; keep it
+            path.unlink()
+        except OSError:
+            pass
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None on any kind of miss."""
+        payload = self._load(key)
+        if payload is None:
+            return None
         return payload.get("result")
 
     def put(self, key: str, result: Any, meta: Optional[Dict[str, Any]] = None) -> None:
@@ -145,7 +182,14 @@ class ResultCache:
             raise
 
     def __contains__(self, key: str) -> bool:
-        return self.path(key).exists()
+        """Whether ``key`` holds a *valid* entry.
+
+        Validates exactly like :meth:`get` (payload shape and
+        ``CACHE_VERSION``), so resume and request-deduplication logic
+        never treat a stale or corrupt entry as present, and the probe
+        is counted in the hit/miss stats.
+        """
+        return self._load(key) is not None
 
     def __len__(self) -> int:
         if not self.root.exists():

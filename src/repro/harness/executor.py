@@ -48,7 +48,13 @@ from repro.errors import (
     is_retryable,
 )
 from repro.harness.cache import ResultCache, cell_key, default_cache_dir
-from repro.harness.faults import FaultSpec, active_fault, env_faults, trigger
+from repro.harness.faults import (
+    WORKER_KINDS,
+    FaultSpec,
+    active_fault,
+    env_faults,
+    trigger,
+)
 
 
 @dataclass(frozen=True)
@@ -342,8 +348,18 @@ def run_cell(
     cell: Cell,
     harness: Optional[HarnessSettings] = None,
     cache: Optional[ResultCache] = None,
+    attempt_offset: int = 0,
 ) -> CellOutcome:
-    """Execute one cell with caching, isolation, watchdog and retries."""
+    """Execute one cell with caching, isolation, watchdog and retries.
+
+    ``attempt_offset`` shifts the attempt numbers shown to the fault
+    machinery: a service layer that re-leases a failed job passes the
+    attempts already consumed, so an injected fault bounded by
+    ``attempts=N`` fires N times *globally* rather than N times per
+    lease (otherwise a lease-requeue loop against a first-attempt fault
+    would never terminate).  The outcome's ``attempts`` stays local to
+    this call.
+    """
     harness = harness or default_harness()
     if cache is None and harness.cache_dir is not None:
         cache = ResultCache(harness.cache_dir)
@@ -358,7 +374,8 @@ def run_cell(
     error: Optional[ReproError] = None
     for attempt in range(1, attempts + 1):
         fault = active_fault(
-            faults, cell.workload, cell.config.label, cell.seed, attempt
+            faults, cell.workload, cell.config.label, cell.seed,
+            attempt_offset + attempt, kinds=WORKER_KINDS,
         )
         try:
             if isolated:

@@ -1,7 +1,7 @@
 """Fault injection for exercising the harness's own recovery paths.
 
 A :class:`FaultSpec` targets cells by workload, config label and seed
-and injects one of three failure modes into matching cells:
+and injects one of five failure modes into matching cells:
 
 * ``hang`` — the worker sleeps forever; the watchdog must kill it
   (requires process isolation; the inline executor degrades it to a
@@ -9,6 +9,13 @@ and injects one of three failure modes into matching cells:
 * ``crash`` — the worker process dies with ``os._exit`` (process mode)
   or raises :class:`~repro.errors.CellCrashError` (inline mode).
 * ``transient`` — raises :class:`~repro.errors.TransientCellError`.
+* ``slow`` — sleeps ``delay_s`` seconds (bounded by
+  :data:`SLOW_DELAY_CAP`) before the cell runs, then lets it proceed.
+  Drives latency/timeout chaos: under a ``--cell-timeout`` shorter than
+  the delay the watchdog fires, otherwise the cell just finishes late.
+* ``disconnect`` — a *service-level* fault: :mod:`repro.serve` drops the
+  client connection instead of delivering a matching cell's result.
+  Worker-side it is a no-op (the simulation itself is untouched).
 
 ``attempts`` bounds how many attempts the fault fires on: ``attempts=1``
 models a transient glitch (first try fails, the retry succeeds);
@@ -17,10 +24,11 @@ a large value models a persistent failure the harness must give up on.
 Specs come from the ``REPRO_FAULTS`` environment variable (which also
 reaches worker subprocesses for free) or programmatically via
 ``HarnessSettings.faults``.  The string format is ``;``-separated specs
-of ``kind|workload|config_label|seed|attempts`` where trailing fields
-may be omitted and ``*`` matches anything, e.g.::
+of ``kind|workload|config_label|seed|attempts|delay_s`` where trailing
+fields may be omitted and ``*`` matches anything (``delay_s`` only
+means something for ``slow``), e.g.::
 
-    REPRO_FAULTS="hang|swim|Base:5_5|0|1;crash|compress"
+    REPRO_FAULTS="hang|swim|Base:5_5|0|1;crash|compress;slow|*|*|*|2|0.5"
 """
 
 from __future__ import annotations
@@ -38,7 +46,19 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: The injected-crash exit code (distinctive, for failure reports).
 CRASH_EXIT_CODE = 86
 
-KINDS = ("hang", "crash", "transient")
+KINDS = ("hang", "crash", "transient", "slow", "disconnect")
+
+#: Kinds the cell executor fires inside (or around) a worker.
+WORKER_KINDS = ("hang", "crash", "transient", "slow")
+
+#: Kinds interpreted by the service layer (:mod:`repro.serve`), not the
+#: worker: the simulation runs normally, the *delivery* is sabotaged.
+SERVICE_KINDS = ("disconnect",)
+
+#: Hard ceiling on an injected ``slow`` delay, so a typo'd spec cannot
+#: wedge a campaign for hours (the point of ``slow`` is to race a
+#: watchdog measured in seconds).
+SLOW_DELAY_CAP = 30.0
 
 
 @dataclass(frozen=True)
@@ -51,6 +71,9 @@ class FaultSpec:
     seed: str = "*"
     #: Fire on attempt numbers <= this (1-based).
     attempts: int = 1
+    #: Sleep before the cell runs (``slow`` only; capped at
+    #: :data:`SLOW_DELAY_CAP` when triggered).
+    delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -59,6 +82,8 @@ class FaultSpec:
             )
         if self.attempts < 1:
             raise ConfigError("fault attempts must be >= 1")
+        if self.delay_s < 0:
+            raise ConfigError("fault delay_s cannot be negative")
 
     def matches(self, workload: str, config_label: str, seed: int,
                 attempt: int) -> bool:
@@ -72,10 +97,11 @@ class FaultSpec:
 
     def encode(self) -> str:
         """The spec in ``REPRO_FAULTS`` string form."""
-        return "|".join(
-            (self.kind, self.workload, self.config_label, self.seed,
-             str(self.attempts))
-        )
+        fields = [self.kind, self.workload, self.config_label, self.seed,
+                  str(self.attempts)]
+        if self.kind == "slow" or self.delay_s:
+            fields.append(repr(self.delay_s))
+        return "|".join(fields)
 
 
 def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
@@ -86,7 +112,7 @@ def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
         if not chunk:
             continue
         fields = chunk.split("|")
-        if len(fields) > 5:
+        if len(fields) > 6:
             raise ConfigError(f"malformed fault spec {chunk!r}")
         kind, rest = fields[0], fields[1:]
         kwargs = dict(zip(("workload", "config_label", "seed"), rest[:3]))
@@ -95,6 +121,11 @@ def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
                 kwargs["attempts"] = int(rest[3])
             except ValueError:
                 raise ConfigError(f"malformed fault attempts in {chunk!r}")
+        if len(rest) > 4:
+            try:
+                kwargs["delay_s"] = float(rest[4])
+            except ValueError:
+                raise ConfigError(f"malformed fault delay in {chunk!r}")
         specs.append(FaultSpec(kind=kind, **kwargs))
     return tuple(specs)
 
@@ -111,9 +142,17 @@ def active_fault(
     config_label: str,
     seed: int,
     attempt: int,
+    kinds: Optional[Sequence[str]] = None,
 ) -> Optional[FaultSpec]:
-    """The first configured fault matching a cell attempt, if any."""
+    """The first configured fault matching a cell attempt, if any.
+
+    ``kinds`` restricts the search: the cell executor asks for
+    :data:`WORKER_KINDS` and the service layer for :data:`SERVICE_KINDS`,
+    so one ``REPRO_FAULTS`` string can arm both layers at once.
+    """
     for spec in faults:
+        if kinds is not None and spec.kind not in kinds:
+            continue
         if spec.matches(workload, config_label, seed, attempt):
             return spec
     return None
@@ -124,9 +163,16 @@ def trigger(spec: FaultSpec, isolated: bool) -> None:
 
     ``isolated`` says whether we are inside a killable worker process;
     only then may a hang actually hang or a crash actually kill the
-    interpreter.
+    interpreter.  ``slow`` sleeps and returns (the cell then runs);
+    ``disconnect`` is a worker-side no-op — it only means something to
+    the service layer, which checks for it at result-delivery time.
     """
     detail = f"injected {spec.kind} fault ({spec.encode()})"
+    if spec.kind == "disconnect":
+        return
+    if spec.kind == "slow":
+        time.sleep(min(spec.delay_s, SLOW_DELAY_CAP))
+        return
     if spec.kind == "transient":
         raise TransientCellError(detail)
     if spec.kind == "crash":

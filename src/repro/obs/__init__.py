@@ -63,6 +63,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsCollector,
     MetricsRegistry,
@@ -112,6 +113,7 @@ __all__ = [
     "CRCEvent",
     "CycleEvent",
     "Counter",
+    "Gauge",
     "Histogram",
     "TimeSeries",
     "MetricsRegistry",

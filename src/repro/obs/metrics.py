@@ -58,6 +58,37 @@ class Counter:
         return self.value
 
 
+class Gauge:
+    """A settable point-in-time metric (queue depth, active leases).
+
+    Unlike :class:`Counter` it may go down; unlike :class:`TimeSeries`
+    it keeps no history — a snapshot is just the current value.  The
+    campaign service (:mod:`repro.serve`) uses gauges for its live
+    occupancy numbers.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the current value by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Adjust the current value down by ``amount``."""
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
 class Histogram:
     """A histogram over integer-valued observations.
 
@@ -185,6 +216,10 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
         return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
 
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram ``name``."""

@@ -1,0 +1,90 @@
+"""Per-job leases: the at-least-once execution contract.
+
+A worker takes a job only under a :class:`Lease` with a wall-clock
+deadline.  If the lease expires before the worker reports back — the
+worker wedged somewhere the harness watchdog doesn't cover, or the
+executor thread died — the reaper re-queues the job for another worker.
+Execution is therefore *at least once*; it is safe because results are
+content-addressed (a duplicate execution writes the same bytes to the
+same cache key) and job completion is idempotent (first terminal
+outcome wins, see :meth:`~repro.serve.queue.Job.resolve`).
+
+The clock is injectable so tests can expire leases without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.serve.queue import Job
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one job."""
+
+    job: Job
+    worker: str
+    granted_at: float
+    deadline: float
+    #: Set when the reaper expired this lease (the job went back to the
+    #: queue); the original worker's late result is then advisory only.
+    expired: bool = False
+
+    def remaining(self, now: float) -> float:
+        return self.deadline - now
+
+
+class LeaseManager:
+    """Grant, release and reap the live leases."""
+
+    def __init__(self, ttl: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.ttl = ttl
+        self.clock = clock
+        self._leases: Dict[str, Lease] = {}  # job id -> lease
+        self.granted = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def active(self) -> List[Lease]:
+        return list(self._leases.values())
+
+    def grant(self, job: Job, worker: str) -> Lease:
+        """Lease ``job`` to ``worker`` for ``ttl`` seconds."""
+        now = self.clock()
+        lease = Lease(job=job, worker=worker, granted_at=now,
+                      deadline=now + self.ttl)
+        self._leases[job.id] = lease
+        self.granted += 1
+        job.leases += 1
+        return lease
+
+    def renew(self, job: Job) -> None:
+        """Extend a live lease by a fresh ttl (long-running cells)."""
+        lease = self._leases.get(job.id)
+        if lease is not None and not lease.expired:
+            lease.deadline = self.clock() + self.ttl
+
+    def release(self, job: Job) -> bool:
+        """Drop the lease at completion; False if it had already been
+        expired out from under the worker."""
+        lease = self._leases.pop(job.id, None)
+        return lease is not None and not lease.expired
+
+    def reap(self) -> List[Lease]:
+        """Pop every overdue lease (marked ``expired``) for requeueing."""
+        now = self.clock()
+        overdue = [lease for lease in self._leases.values()
+                   if lease.deadline <= now]
+        for lease in overdue:
+            lease.expired = True
+            del self._leases[lease.job.id]
+            self.expirations += 1
+        return overdue

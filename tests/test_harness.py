@@ -6,7 +6,9 @@ failure report; and resume of an interrupted campaign reusing cached
 cells.  Simulation cells are tiny so the subprocess paths stay fast.
 """
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -98,6 +100,108 @@ class TestResultCache:
         path.write_bytes(pickle.dumps({"version": -1, "result": 42}))
         assert cache.get(key) is None
 
+    def test_contains_validates_like_get(self, tmp_path):
+        # __contains__ must not report corrupt or stale-version entries
+        # as present (a resume would then skip recomputing them), and
+        # its probes count in the hit/miss stats like get's do.
+        cache = ResultCache(tmp_path)
+        good, stale, corrupt, absent = (
+            tag + "0" * 62 for tag in ("aa", "bb", "cc", "dd"))
+        cache.put(good, {"ipc": 1.0})
+        for key, payload in ((stale, pickle.dumps({"version": -1})),
+                             (corrupt, b"garbage")):
+            path = cache.path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(payload)
+        assert good in cache
+        assert stale not in cache
+        assert corrupt not in cache
+        assert absent not in cache
+        assert (cache.hits, cache.misses) == (1, 3)
+        assert not cache.path(corrupt).exists()  # dropped, like get
+
+    def test_remove_corrupt_spares_a_racing_rewrite(self, tmp_path):
+        # The corrupt-entry unlink races concurrent put()s: once another
+        # writer os.replace()s a fresh payload in (new inode), the
+        # removal must leave it alone.
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"garbage")
+        with path.open("rb") as handle:
+            stat = os.fstat(handle.fileno())
+        cache.put(key, {"ipc": 2.0})  # the racing rewrite (new inode)
+        ResultCache._remove_corrupt(path, stat)
+        assert cache.get(key) == {"ipc": 2.0}
+        # Same inode (no race): the unlink fires.
+        path2 = cache.path("ba" + "0" * 62)
+        path2.parent.mkdir(parents=True)
+        path2.write_bytes(b"garbage")
+        with path2.open("rb") as handle:
+            stat2 = os.fstat(handle.fileno())
+        ResultCache._remove_corrupt(path2, stat2)
+        assert not path2.exists()
+        # A vanished entry (stat=None or already unlinked) never raises.
+        ResultCache._remove_corrupt(path2, stat2)
+        ResultCache._remove_corrupt(path2, None)
+
+
+class TestCacheCorruptionRecovery:
+    """A damaged entry reads as a miss exactly once, then the cell is
+    recomputed and re-cached (the ISSUE's corruption-recovery triad)."""
+
+    def prime(self, tmp_path):
+        harness = HarnessSettings(isolate="inline", backoff_base=0.0,
+                                  cache_dir=str(tmp_path))
+        cell = tiny_cell()
+        first = run_cell(cell, harness)
+        assert first.ok and not first.cached
+        return harness, cell, ResultCache(tmp_path)
+
+    def recheck(self, harness, cell, cache):
+        recomputed = run_cell(cell, harness)
+        assert recomputed.ok and not recomputed.cached
+        again = run_cell(cell, harness)
+        assert again.ok and again.cached
+        assert again.result.ipc == recomputed.result.ipc
+
+    def test_truncated_pickle(self, tmp_path):
+        harness, cell, cache = self.prime(tmp_path)
+        path = cache.path(cell.key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.get(cell.key) is None
+        assert cache.misses == 1
+        assert not path.exists()  # dropped on first read
+        self.recheck(harness, cell, cache)
+
+    def test_version_mismatch(self, tmp_path):
+        harness, cell, cache = self.prime(tmp_path)
+        path = cache.path(cell.key)
+        path.write_bytes(pickle.dumps({"version": -1, "result": "old"}))
+        assert cache.get(cell.key) is None
+        assert path.exists()  # stale, not garbage: put() overwrites it
+        self.recheck(harness, cell, cache)
+
+    @pytest.mark.skipif(
+        hasattr(os, "geteuid") and os.geteuid() == 0,
+        reason="root ignores file permission bits",
+    )
+    def test_unreadable_permissions(self, tmp_path):
+        harness, cell, cache = self.prime(tmp_path)
+        path = cache.path(cell.key)
+        path.chmod(0o000)
+        try:
+            assert cache.get(cell.key) is None
+            assert cache.misses == 1
+            # Recompute; put()'s atomic replace supersedes the entry.
+            self.recheck(harness, cell, cache)
+        finally:
+            if path.exists():
+                path.chmod(0o644)
+
 
 class TestFaultSpecs:
     def test_parse_round_trip(self):
@@ -115,6 +219,70 @@ class TestFaultSpecs:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigError):
             FaultSpec("meltdown")
+
+    def test_slow_parse_round_trip(self):
+        specs = parse_faults("slow|*|*|*|2|0.5;slow|swim")
+        assert specs[0] == FaultSpec("slow", attempts=2, delay_s=0.5)
+        assert specs[1] == FaultSpec("slow", "swim")  # delay optional
+        for spec in specs + (FaultSpec("crash", "gcc", attempts=3),):
+            assert parse_faults(spec.encode()) == (spec,)
+
+    def test_malformed_slow_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_faults("slow|*|*|*|1|fast")  # non-numeric delay
+        with pytest.raises(ConfigError):
+            parse_faults("slow|*|*|*|1|0.5|extra")  # too many fields
+        with pytest.raises(ConfigError):
+            FaultSpec("slow", delay_s=-1.0)
+
+    def test_slow_fault_delays_then_succeeds(self):
+        harness = HarnessSettings(
+            backoff_base=0.0, isolate="inline",
+            faults=(FaultSpec("slow", "m88ksim", attempts=1, delay_s=0.2),),
+        )
+        started = time.monotonic()
+        outcome = run_cell(tiny_cell(), harness)
+        assert outcome.ok
+        assert outcome.attempts == 1  # slowed, not failed
+        assert time.monotonic() - started >= 0.2
+
+    def test_slow_delay_is_capped(self, monkeypatch):
+        # A typo'd delay must not wedge a campaign: trigger() clamps the
+        # sleep to SLOW_DELAY_CAP.
+        from repro.harness import faults as faults_mod
+
+        naps = []
+        monkeypatch.setattr(faults_mod.time, "sleep",
+                            lambda seconds: naps.append(seconds))
+        faults_mod.trigger(FaultSpec("slow", delay_s=1e9), isolated=False)
+        assert naps == [faults_mod.SLOW_DELAY_CAP]
+
+    def test_disconnect_is_a_worker_noop(self):
+        # disconnect is a service-level kind: the executor filters it
+        # out (WORKER_KINDS) and the cell runs untouched.
+        harness = HarnessSettings(
+            backoff_base=0.0, isolate="inline",
+            faults=(FaultSpec("disconnect", attempts=99),),
+        )
+        outcome = run_cell(tiny_cell(), harness)
+        assert outcome.ok
+        assert outcome.attempts == 1
+
+    def test_attempt_offset_gives_global_fault_numbering(self):
+        # A service re-leasing a failed job passes the attempts already
+        # consumed, so an attempts=2 fault fires twice globally rather
+        # than twice per lease.
+        harness = HarnessSettings(
+            retries=0, backoff_base=0.0, isolate="inline",
+            faults=(FaultSpec("crash", "m88ksim", attempts=2),),
+        )
+        first = run_cell(tiny_cell(), harness)
+        assert not first.ok and isinstance(first.error, CellCrashError)
+        second = run_cell(tiny_cell(), harness, attempt_offset=1)
+        assert not second.ok  # global attempt 2: still inside the fault
+        third = run_cell(tiny_cell(), harness, attempt_offset=2)
+        assert third.ok  # global attempt 3: past it
+        assert third.attempts == 1  # local numbering unaffected
 
 
 class TestRetry:

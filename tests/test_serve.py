@@ -1,0 +1,685 @@
+"""Tests for the campaign service (:mod:`repro.serve`).
+
+Unit layer: wire protocol, journal replay, leases, bounded priority
+lanes.  End-to-end layer: a real :class:`CampaignServer` on a loopback
+socket driven by the synchronous :class:`CampaignClient`, including the
+chaos scenarios the subsystem exists for — dedup coalescing, 429 load
+shedding, worker crashes re-leased mid-campaign, injected disconnects
+survived by client retry, and ``kill -9`` (abort) followed by a
+journal-replay resume that loses no accepted job.
+
+Simulation cells are tiny so the suite stays fast.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import CoreConfig
+from repro.core.simulator import simulate
+from repro.errors import ConfigError
+from repro.experiments import ExperimentSettings
+from repro.harness import Cell, FaultSpec, HarnessSettings, ResultCache
+from repro.serve import (
+    CampaignClient,
+    CampaignServer,
+    Journal,
+    JobQueue,
+    LeaseManager,
+    QueueFullError,
+    ServeSettings,
+    ServiceError,
+    ServiceUnavailableError,
+    build_cell,
+    compact,
+    make_cell_spec,
+    pending_jobs,
+    read_records,
+)
+from repro.serve.journal import last_drain
+from repro.serve.protocol import decode, encode, result_from_wire, result_to_wire
+from repro.serve.queue import DONE, Job
+
+TINY = dict(instructions=200, warmup=2_000, detailed_warmup=80)
+BASE = CoreConfig.base()
+
+
+def tiny_cell(workload="m88ksim", seed=0) -> Cell:
+    settings = ExperimentSettings(seeds=(seed,), **TINY)
+    return Cell(workload=workload, config=BASE, settings=settings, seed=seed)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# --------------------------------------------------------------------------
+# Wire protocol
+# --------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"type": "submit", "cell": {"workload": "swim"}, "id": 3}
+        assert decode(encode(message)) == message
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ConfigError):
+            decode(b"not json\n")
+        with pytest.raises(ConfigError):
+            decode(b"[1, 2]\n")  # not an object
+        with pytest.raises(ConfigError):
+            decode(b'{"no": "type"}\n')
+
+    def test_spec_round_trip_reconstructs_cell_key(self):
+        # The client-side spec and the server-side rebuild must agree on
+        # the content address — that is the dedup/idempotency contract.
+        spec = make_cell_spec("m88ksim", seed=3, **TINY)
+        cell = build_cell(spec)
+        assert cell.key == tiny_cell(seed=3).key
+        assert build_cell(json.loads(json.dumps(spec))).key == cell.key
+
+    def test_spec_overrides_change_the_key(self):
+        plain = build_cell(make_cell_spec("swim", **TINY))
+        widened = build_cell(make_cell_spec(
+            "swim", overrides={"rob_entries": 96}, **TINY))
+        assert plain.key != widened.key
+        assert widened.config.rob_entries == 96
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            build_cell("not a dict")
+        with pytest.raises(ConfigError):
+            build_cell({"seed": 0})  # no workload
+        with pytest.raises(ConfigError):
+            build_cell(make_cell_spec("swim", overrides={"nope": 1}))
+        with pytest.raises(ConfigError):
+            # dra_overrides only mean something for a DRA config
+            build_cell({"workload": "swim",
+                        "config": {"dra": False,
+                                   "dra_overrides": {"crc_entries": 4}}})
+
+    def test_dra_spec_builds_dra_config(self):
+        cell = build_cell(make_cell_spec(
+            "swim", dra=True, rf=5, dra_overrides={"crc_entries": 32},
+            **TINY))
+        assert cell.config.dra is not None
+        assert cell.config.dra.crc_entries == 32
+
+    def test_result_wire_round_trip(self):
+        result = simulate("m88ksim", BASE, seed=0, **TINY)
+        wire = result_to_wire(result, want_pickle=True)
+        assert wire["ipc"] == result.ipc
+        assert wire["summary"] == {
+            k: float(v) for k, v in result.stats.summary().items()}
+        back = result_from_wire(wire)
+        assert back.ipc == result.ipc
+        assert back.stats.summary() == result.stats.summary()
+        # Without the pickle flag the payload (the expensive part) is
+        # omitted and the round trip yields no object.
+        slim = result_to_wire(result, want_pickle=False)
+        assert "payload" not in slim
+        assert result_from_wire(slim) is None
+
+
+# --------------------------------------------------------------------------
+# Journal
+# --------------------------------------------------------------------------
+
+class TestJournal:
+    def accepted(self, job, **extra):
+        record = {"rec": "accepted", "job": job, "key": "k" + job,
+                  "priority": "batch",
+                  "cell": make_cell_spec("m88ksim", **TINY)}
+        record.update(extra)
+        return record
+
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(self.accepted("j-1"))
+            journal.append({"rec": "done", "job": "j-1", "ok": True})
+        records = read_records(path)
+        assert [r["rec"] for r in records] == ["accepted", "done"]
+        assert all("t" in r for r in records)
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(self.accepted("j-1"))
+        with path.open("a") as handle:
+            handle.write('{"rec": "accepted", "job": "j-2", "ke')  # crash
+        records = read_records(path)
+        assert len(records) == 1
+        assert pending_jobs(path)[0]["job"] == "j-1"
+
+    def test_pending_ignores_leases_and_respects_done(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(self.accepted("j-1"))
+            journal.append(self.accepted("j-2"))
+            journal.append({"rec": "leased", "job": "j-1", "worker": "w0"})
+            journal.append({"rec": "leased", "job": "j-2", "worker": "w1"})
+            journal.append({"rec": "done", "job": "j-1", "ok": True})
+        pending = pending_jobs(path)
+        # j-2 was mid-lease at the crash: still pending (the lease died
+        # with the process); j-1 is retired.
+        assert [r["job"] for r in pending] == ["j-2"]
+
+    def test_compact_keeps_only_backlog(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            for n in range(5):
+                journal.append(self.accepted(f"j-{n}"))
+            for n in range(4):
+                journal.append({"rec": "done", "job": f"j-{n}", "ok": True})
+        assert compact(path) == 1
+        records = read_records(path)
+        assert [r["job"] for r in records] == ["j-4"]
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert read_records(tmp_path / "nope.jsonl") == []
+        assert pending_jobs(tmp_path / "nope.jsonl") == []
+        assert compact(tmp_path / "nope.jsonl") == 0
+
+    def test_last_drain(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(self.accepted("j-1"))
+        assert last_drain(path) is None
+        with Journal(path) as journal:
+            journal.append({"rec": "drain"})
+        assert last_drain(path) is not None
+
+
+# --------------------------------------------------------------------------
+# Leases
+# --------------------------------------------------------------------------
+
+class TestLeases:
+    def make_job(self, n=1):
+        return Job(id=f"j-{n}", cell=tiny_cell(), spec={})
+
+    def test_grant_release(self):
+        now = [0.0]
+        leases = LeaseManager(ttl=10.0, clock=lambda: now[0])
+        job = self.make_job()
+        lease = leases.grant(job, "w0")
+        assert len(leases) == 1
+        assert job.leases == 1
+        assert lease.remaining(now[0]) == 10.0
+        assert leases.release(job) is True
+        assert len(leases) == 0
+
+    def test_reap_expires_overdue_only(self):
+        now = [0.0]
+        leases = LeaseManager(ttl=10.0, clock=lambda: now[0])
+        early, late = self.make_job(1), self.make_job(2)
+        leases.grant(early, "w0")
+        now[0] = 5.0
+        leases.grant(late, "w1")
+        now[0] = 10.0
+        reaped = leases.reap()
+        assert [lease.job.id for lease in reaped] == ["j-1"]
+        assert reaped[0].expired
+        assert leases.expirations == 1
+        # The worker holding the expired lease learns it lost it.
+        assert leases.release(late) is True
+
+    def test_renew_extends_deadline(self):
+        now = [0.0]
+        leases = LeaseManager(ttl=10.0, clock=lambda: now[0])
+        job = self.make_job()
+        leases.grant(job, "w0")
+        now[0] = 9.0
+        leases.renew(job)
+        now[0] = 15.0
+        assert leases.reap() == []  # renewed out to t=19
+
+
+# --------------------------------------------------------------------------
+# Queue
+# --------------------------------------------------------------------------
+
+class TestJobQueue:
+    def make_job(self, n, priority="batch"):
+        return Job(id=f"j-{n}", cell=tiny_cell(), spec={}, priority=priority)
+
+    def test_interactive_preempts_batch(self):
+        async def scenario():
+            queue = JobQueue(lane_depth=8)
+            await queue.offer(self.make_job(1, "batch"))
+            await queue.offer(self.make_job(2, "interactive"))
+            await queue.offer(self.make_job(3, "batch"))
+            order = [(await queue.take()).id for _ in range(3)]
+            return order
+
+        assert run(scenario()) == ["j-2", "j-1", "j-3"]
+
+    def test_full_lane_sheds_with_retry_after(self):
+        async def scenario():
+            queue = JobQueue(lane_depth=2)
+            await queue.offer(self.make_job(1))
+            await queue.offer(self.make_job(2))
+            with pytest.raises(QueueFullError) as exc:
+                await queue.offer(self.make_job(3), est_cell_seconds=2.0,
+                                  workers=1)
+            # Only the batch lane is full.
+            await queue.offer(self.make_job(4, "interactive"))
+            return exc.value.retry_after, queue.rejected
+
+        retry_after, rejected = run(scenario())
+        assert retry_after > 0
+        assert rejected == 1
+
+    def test_requeue_bypasses_bound_and_goes_first(self):
+        async def scenario():
+            queue = JobQueue(lane_depth=1)
+            await queue.offer(self.make_job(1))
+            await queue.requeue(self.make_job(2))  # full lane: still in
+            return [(await queue.take()).id for _ in range(2)]
+
+        assert run(scenario()) == ["j-2", "j-1"]
+
+    def test_close_wakes_blocked_taker(self):
+        async def scenario():
+            queue = JobQueue()
+            taker = asyncio.ensure_future(queue.take())
+            await asyncio.sleep(0.01)
+            await queue.close()
+            return await asyncio.wait_for(taker, timeout=2)
+
+        assert run(scenario()) is None
+
+    def test_close_drains_remaining_jobs_first(self):
+        async def scenario():
+            queue = JobQueue()
+            await queue.offer(self.make_job(1))
+            await queue.close()
+            return [await queue.take(), await queue.take()]
+
+        first, second = run(scenario())
+        assert first.id == "j-1"
+        assert second is None
+
+    def test_job_resolution_is_idempotent(self):
+        async def scenario():
+            job = self.make_job(1)
+            future = job.subscribe()
+            job.resolve("first", DONE)
+            job.resolve("second", DONE)
+            late = job.subscribe()  # post-terminal subscription
+            return await future, await late
+
+        assert run(scenario()) == ("first", "first")
+
+
+# --------------------------------------------------------------------------
+# End-to-end: a live server on loopback
+# --------------------------------------------------------------------------
+
+class ServerThread:
+    """A CampaignServer running its own event loop in a daemon thread."""
+
+    def __init__(self, settings: ServeSettings):
+        self.settings = settings
+        self.server = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.server = CampaignServer(self.settings)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+        self.loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(15), "server failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            if not self.server._drained:
+                self.call(self.server.drain())
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(15)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def call(self, coro, timeout: float = 60.0):
+        """Run a coroutine on the server loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def counter(self, name: str) -> int:
+        return self.server.registry.counter(f"serve.{name}").value
+
+
+def serve_settings(tmp_path, faults=(), **overrides) -> ServeSettings:
+    harness = HarnessSettings(
+        isolate="inline", retries=2, backoff_base=0.0,
+        cache_dir=str(tmp_path / "cache"), faults=tuple(faults),
+    )
+    defaults = dict(port=0, workers=2, lane_depth=16, lease_ttl=60.0,
+                    journal_path=str(tmp_path / "journal.jsonl"),
+                    harness=harness)
+    defaults.update(overrides)
+    return ServeSettings(**defaults)
+
+
+def raw_submit(port, spec, priority="batch", wait=False):
+    """One submit over a raw socket, returning the first reply line."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(encode({"type": "submit", "id": 1, "cell": spec,
+                             "priority": priority, "wait": wait}))
+        reader = sock.makefile("rb")
+        return json.loads(reader.readline())
+
+
+class TestServerEndToEnd:
+    def test_submit_result_is_bit_identical_to_direct_simulate(self, tmp_path):
+        with ServerThread(serve_settings(tmp_path)) as st:
+            with CampaignClient(port=st.port) as client:
+                reply = client.submit("m88ksim", seed=0, **TINY)
+        direct = simulate("m88ksim", BASE, seed=0, **TINY)
+        assert reply.ok and not reply.cached and not reply.dedup
+        assert reply.ipc == direct.ipc
+        assert reply.summary == {
+            k: float(v) for k, v in direct.stats.summary().items()}
+        assert reply.result.ipc == direct.ipc
+        assert reply.result.stats.summary() == direct.stats.summary()
+
+    def test_second_submit_hits_cache(self, tmp_path):
+        with ServerThread(serve_settings(tmp_path)) as st:
+            with CampaignClient(port=st.port) as client:
+                first = client.submit("m88ksim", **TINY)
+                second = client.submit("m88ksim", **TINY)
+            assert st.counter("executed") == 1
+        assert first.ok and not first.cached
+        assert second.ok and second.cached
+        assert second.ipc == first.ipc
+
+    def test_concurrent_identical_submits_coalesce(self, tmp_path):
+        # Hold the one execution open with a slow fault so both clients
+        # overlap; exactly one simulation must run.
+        settings = serve_settings(
+            tmp_path, faults=[FaultSpec("slow", attempts=1, delay_s=0.8)])
+        replies = []
+
+        def submit():
+            with CampaignClient(port=st.port) as client:
+                replies.append(client.submit("m88ksim", **TINY))
+
+        with ServerThread(settings) as st:
+            threads = [threading.Thread(target=submit) for _ in range(2)]
+            threads[0].start()
+            time.sleep(0.25)  # first submit is in flight (sleeping)
+            threads[1].start()
+            for thread in threads:
+                thread.join(30)
+            assert st.counter("executed") == 1
+            assert st.counter("dedup_coalesced") == 1
+        assert len(replies) == 2
+        assert all(reply.ok for reply in replies)
+        assert replies[0].ipc == replies[1].ipc
+        assert any(reply.dedup for reply in replies)
+
+    def test_full_lane_sheds_429_with_retry_after(self, tmp_path):
+        settings = serve_settings(
+            tmp_path, workers=1, lane_depth=1,
+            faults=[FaultSpec("slow", attempts=9, delay_s=1.5)])
+        with ServerThread(settings) as st:
+            # c1 occupies the worker (sleeping), c2 fills the lane.
+            assert raw_submit(
+                st.port, make_cell_spec("m88ksim", seed=1, **TINY)
+            )["type"] == "accepted"
+            time.sleep(0.3)
+            assert raw_submit(
+                st.port, make_cell_spec("m88ksim", seed=2, **TINY)
+            )["type"] == "accepted"
+            shed = raw_submit(
+                st.port, make_cell_spec("m88ksim", seed=3, **TINY))
+            assert shed["type"] == "rejected"
+            assert shed["code"] == 429
+            assert shed["retry_after"] > 0
+            assert st.counter("rejected_full") == 1
+            # The interactive lane is bounded independently: still open.
+            assert raw_submit(
+                st.port, make_cell_spec("m88ksim", seed=4, **TINY),
+                priority="interactive",
+            )["type"] == "accepted"
+
+    def test_worker_crash_is_retried_within_lease(self, tmp_path):
+        # The harness's own retry loop absorbs a crash fault; the job
+        # completes on its first lease.
+        settings = serve_settings(
+            tmp_path, faults=[FaultSpec("crash", attempts=1)])
+        with ServerThread(settings) as st:
+            with CampaignClient(port=st.port) as client:
+                reply = client.submit("m88ksim", **TINY)
+            assert st.counter("completed") == 1
+        assert reply.ok
+        assert reply.attempts == 2  # crash, then clean
+
+    def test_crash_exhausting_harness_retries_is_released(self, tmp_path):
+        # Harness retries=0: the crash consumes the whole lease, the
+        # service re-leases the job, and the global attempt numbering
+        # (attempt_offset) steps past the fault's attempts=1 bound.
+        harness = HarnessSettings(
+            isolate="inline", retries=0, backoff_base=0.0,
+            cache_dir=str(tmp_path / "cache"),
+            faults=(FaultSpec("crash", attempts=1),),
+        )
+        settings = serve_settings(tmp_path, harness=harness)
+        with ServerThread(settings) as st:
+            with CampaignClient(port=st.port) as client:
+                reply = client.submit("m88ksim", **TINY)
+            assert st.counter("requeued") == 1
+            assert st.counter("executed") == 2
+            records = [r["rec"] for r in read_records(
+                st.settings.journal_path)]
+        assert reply.ok
+        assert records.count("requeued") == 1
+        assert records.count("done") == 1
+
+    def test_persistent_crash_fails_after_max_leases(self, tmp_path):
+        harness = HarnessSettings(
+            isolate="inline", retries=0, backoff_base=0.0,
+            cache_dir=str(tmp_path / "cache"),
+            faults=(FaultSpec("crash", attempts=99),),
+        )
+        settings = serve_settings(tmp_path, harness=harness,
+                                  max_lease_attempts=2)
+        with ServerThread(settings) as st:
+            with CampaignClient(port=st.port) as client:
+                reply = client.submit("m88ksim", **TINY)
+            assert st.counter("failed") == 1
+        assert not reply.ok
+        assert reply.error_kind == "CellCrashError"
+
+    def test_injected_disconnect_survived_by_client_retry(self, tmp_path):
+        settings = serve_settings(
+            tmp_path, faults=[FaultSpec("disconnect", attempts=1)])
+        with ServerThread(settings) as st:
+            with CampaignClient(port=st.port, retry_delay=0.05) as client:
+                reply = client.submit("m88ksim", **TINY)
+            assert st.counter("disconnects_injected") == 1
+            assert st.counter("executed") == 1
+        direct = simulate("m88ksim", BASE, seed=0, **TINY)
+        assert reply.ok
+        assert reply.reconnects >= 1
+        # The retry rode the cache/dedup path to the same bytes.
+        assert reply.ipc == direct.ipc
+
+    def test_invalid_specs_get_error_replies(self, tmp_path):
+        with ServerThread(serve_settings(tmp_path)) as st:
+            with CampaignClient(port=st.port) as client:
+                with pytest.raises(ServiceError):
+                    client.submit("m88ksim", overrides={"nope": 1}, **TINY)
+                with pytest.raises(ServiceError):
+                    client.submit_spec(make_cell_spec("m88ksim", **TINY),
+                                       priority="vip")
+
+    def test_health_status_stats_endpoints(self, tmp_path):
+        with ServerThread(serve_settings(tmp_path)) as st:
+            with CampaignClient(port=st.port) as client:
+                client.submit("m88ksim", **TINY)
+                health = client.health()
+                status = client.status()
+                stats = client.stats()
+        assert health["ok"] and not health["draining"]
+        assert health["protocol"] == 1
+        assert status["jobs"]["done"] == 1
+        assert set(status["queues"]) == {"interactive", "batch"}
+        metrics = stats["metrics"]
+        assert metrics["serve.submitted"] == 1
+        assert metrics["serve.completed"] == 1
+        assert metrics["serve.service_ms.count"] == 1.0
+        assert stats["cache"]["misses"] >= 1
+
+    def test_drain_finishes_accepted_work_then_rejects(self, tmp_path):
+        settings = serve_settings(
+            tmp_path, workers=1,
+            faults=[FaultSpec("slow", attempts=1, delay_s=0.6)])
+        with ServerThread(settings) as st:
+            port = st.port
+            accepted = raw_submit(
+                port, make_cell_spec("m88ksim", **TINY))
+            assert accepted["type"] == "accepted"
+            time.sleep(0.15)  # job leased, worker sleeping in the fault
+            st.call(st.server.drain(), timeout=30)
+            assert st.counter("completed") == 1
+            journal_path = st.settings.journal_path
+        records = read_records(journal_path)
+        assert [r["rec"] for r in records[-2:]] == ["done", "drain"]
+        assert last_drain(journal_path) is not None
+        # The listener is gone: new submits cannot connect.
+        with pytest.raises(ServiceUnavailableError):
+            CampaignClient(port=port, retries=0).submit("m88ksim", **TINY)
+
+    def test_submit_while_draining_rejected_503(self, tmp_path):
+        with ServerThread(serve_settings(tmp_path)) as st:
+            st.server._draining = True
+            reply = raw_submit(st.port, make_cell_spec("m88ksim", **TINY))
+            st.server._draining = False
+        assert reply["type"] == "rejected"
+        assert reply["code"] == 503
+
+
+class TestAbortAndResume:
+    """kill -9 (abort) then ``--resume``: no accepted job is lost."""
+
+    def test_resume_replays_accepted_jobs(self, tmp_path):
+        slow = FaultSpec("slow", attempts=1, delay_s=8.0)
+        settings = serve_settings(tmp_path, workers=1, faults=[slow])
+        specs = [make_cell_spec("m88ksim", seed=seed, **TINY)
+                 for seed in range(4)]
+        keys = [build_cell(spec).key for spec in specs]
+        with ServerThread(settings) as st:
+            for spec in specs:
+                assert raw_submit(st.port, spec)["type"] == "accepted"
+            time.sleep(0.2)  # first job leased and wedged in the fault
+            st.call(st.server.abort(), timeout=30)
+            st.server._drained = True  # skip the graceful exit path
+        journal_path = settings.journal_path
+        pending = pending_jobs(journal_path)
+        assert len(pending) == 4  # nothing was finished, nothing lost
+        assert last_drain(journal_path) is None  # dirty shutdown
+
+        resumed = serve_settings(tmp_path, workers=2, resume=True)
+        with ServerThread(resumed) as st:
+            assert st.counter("resumed") == 4
+            deadline = time.time() + 60
+            while time.time() < deadline and st.server.inflight:
+                time.sleep(0.05)
+            assert not st.server.inflight, "resumed jobs did not finish"
+            assert st.counter("completed") == 4
+        cache = ResultCache(tmp_path / "cache")
+        direct = simulate("m88ksim", BASE, seed=2, **TINY)
+        for key in keys:
+            assert cache.get(key) is not None
+        assert cache.get(keys[2]).ipc == direct.ipc
+        # The resumed journal retires every replayed job.
+        assert pending_jobs(journal_path) == []
+
+    def test_resume_skips_unreplayable_records(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        with Journal(journal_path) as journal:
+            journal.append({"rec": "accepted", "job": "j-1", "key": "k",
+                            "priority": "batch",
+                            "cell": {"workload": "no_such_workload_v9"}})
+            journal.append({"rec": "accepted", "job": "j-2", "key": "k2",
+                            "priority": "batch", "cell": "garbage"})
+        settings = serve_settings(tmp_path, resume=True,
+                                  journal_path=str(journal_path))
+        with ServerThread(settings) as st:
+            # The poison records are retired, not replayed forever.
+            deadline = time.time() + 30
+            while time.time() < deadline and st.server.inflight:
+                time.sleep(0.05)
+            resumed = st.counter("resumed")
+        # j-1 builds a Cell (workload names resolve at simulation time)
+        # and fails fast at execution; j-2 cannot even build.
+        assert resumed <= 1
+        assert pending_jobs(journal_path) == []
+
+
+class TestChaosCampaign:
+    """The acceptance scenario: a 20-cell campaign under active chaos
+    completes with results bit-identical to direct ``simulate()``."""
+
+    WORKLOADS = ("m88ksim", "swim", "compress", "gcc")
+    SEEDS = (0, 1, 2, 3, 4)
+    FAULTS = (
+        # Every seed-0 cell crashes once, every seed-1 cell flakes once,
+        # every seed-2 cell is slowed; delivery of seed-3 results drops
+        # the connection once.
+        FaultSpec("crash", seed="0", attempts=1),
+        FaultSpec("transient", seed="1", attempts=1),
+        FaultSpec("slow", seed="2", attempts=1, delay_s=0.05),
+        FaultSpec("disconnect", seed="3", attempts=1),
+    )
+
+    def test_twenty_cell_campaign_bit_identical(self, tmp_path):
+        settings = serve_settings(tmp_path, workers=2, faults=self.FAULTS)
+        cells = [(w, s) for w in self.WORKLOADS for s in self.SEEDS]
+        replies = {}
+        lock = threading.Lock()
+
+        def drive(assigned):
+            with CampaignClient(port=st.port, retry_delay=0.05) as client:
+                for workload, seed in assigned:
+                    reply = client.submit(workload, seed=seed,
+                                          want_result=False, **TINY)
+                    with lock:
+                        replies[(workload, seed)] = reply
+
+        with ServerThread(settings) as st:
+            threads = [
+                threading.Thread(target=drive, args=(cells[n::4],))
+                for n in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            assert st.counter("disconnects_injected") >= 1
+            journal_path = st.settings.journal_path
+        assert len(replies) == 20
+        assert all(reply.ok for reply in replies.values())
+        for workload, seed in cells:
+            direct = simulate(workload, BASE, seed=seed, **TINY)
+            assert replies[(workload, seed)].ipc == direct.ipc, \
+                f"{workload}/seed{seed} diverged under chaos"
+        # Clean shutdown after a chaotic life.
+        assert last_drain(journal_path) is not None
