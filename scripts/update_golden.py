@@ -41,6 +41,26 @@ RUN = {
 #: RF read latencies pinned per machine family (§6's 3/5/7 sweep).
 RF_LATENCIES = (3, 5, 7)
 
+#: Scenario-family pins.  Each embeds its full run geometry (unlike the
+#: core cells, which share RUN) so new families can pick their own.
+SCENARIO_RUNS = {
+    "pointer_chase_base_rf3": {
+        "workload": "pointer_chase",
+        "kind": "base",
+        "rf": 3,
+        "instructions": 2_000,
+        "warmup": 20_000,
+        "detailed_warmup": 400,
+        "seed": 0,
+    },
+}
+
+
+def _scenario_config(run: dict) -> CoreConfig:
+    if run["kind"] == "dra":
+        return CoreConfig.with_dra(run["rf"])
+    return CoreConfig.base(run["rf"])
+
 
 def golden_cells():
     for rf in RF_LATENCIES:
@@ -67,7 +87,27 @@ def collect() -> dict:
         }
         print(f"{label:12s} {config.label:>8s} cycles={stats.cycles} "
               f"retired={stats.retired} reissues={stats.total_reissues}")
-    return {"run": RUN, "cells": cells}
+    scenario_cells = {}
+    for label, run in SCENARIO_RUNS.items():
+        config = _scenario_config(run)
+        stats = simulate(
+            run["workload"],
+            config,
+            instructions=run["instructions"],
+            warmup=run["warmup"],
+            detailed_warmup=run["detailed_warmup"],
+            seed=run["seed"],
+        ).stats
+        scenario_cells[label] = {
+            "run": dict(run),
+            "pipe": config.label,
+            "cycles": stats.cycles,
+            "retired": stats.retired,
+            "total_reissues": stats.total_reissues,
+        }
+        print(f"{label:24s} {config.label:>8s} cycles={stats.cycles} "
+              f"retired={stats.retired} reissues={stats.total_reissues}")
+    return {"run": RUN, "cells": cells, "scenario_cells": scenario_cells}
 
 
 def main() -> int:

@@ -10,7 +10,10 @@ Subcommands::
     loopsim ablations                      recovery/CRC/FB/... studies
     loopsim loops [--dra|--machine NAME]   the §1 loop inventory
     loopsim trace swim -n 24               pipeview-style timeline
-    loopsim workloads                      list the Spec95 stand-ins
+    loopsim trace capture swim -o t.gz     capture a replayable uop trace
+    loopsim run trace:t.gz                 ... and simulate from it
+    loopsim run swim@bursty:2048           phase-varying dynamic workload
+    loopsim workloads [--json]             list every workload + scenario
     loopsim verify                         self-checking preset sweep
     loopsim verify --differential          cross-config consistency laws
     loopsim verify --fuzz --budget 60      fuzz random configs/workloads
@@ -61,17 +64,21 @@ from repro.experiments import (
     run_slotting_ablation,
     run_wake_lead_ablation,
 )
-from repro.workloads import (
-    ALL_WORKLOADS,
-    SMOKE_PROFILES,
-    SMOKE_WORKLOADS,
-    SPEC95_PROFILES,
-    SMT_PAIRS,
-)
+from repro.workloads import ALL_WORKLOADS, SMOKE_WORKLOADS
 
-#: Names accepted by single-run subcommands (run/attribute/trace):
-#: the paper's 13 workloads plus the CI smoke workloads.
+#: Names suggested in help text for single-run subcommands: the paper's
+#: 13 workloads plus the CI smoke workloads.  Not an argparse ``choices``
+#: list — scenario names (``trace:<path>``, ``base@pattern``, scenario
+#: families) are open-ended syntax resolved by
+#: :func:`repro.workloads.workload_profiles`, which raises a
+#: :class:`~repro.errors.WorkloadError` (exit 2) for unknown names.
 RUNNABLE_WORKLOADS = ALL_WORKLOADS + SMOKE_WORKLOADS
+
+_WORKLOAD_HELP = (
+    "workload name: a paper/smoke workload, a scenario family, "
+    "trace:<path>, or <base>@<pattern>[:<period>] "
+    "(see `loopsim workloads`)"
+)
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -290,6 +297,26 @@ def _cmd_loops(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.workload == "capture":
+        from repro.scenarios import capture_trace
+
+        if not args.target:
+            print("error: trace capture needs a workload "
+                  "(loopsim trace capture <workload> -o out.trace.gz)",
+                  file=sys.stderr)
+            return 2
+        if not args.out:
+            print("error: trace capture needs -o/--out", file=sys.stderr)
+            return 2
+        count = capture_trace(
+            args.target, args.out, args.count,
+            seed=args.seed, thread=args.thread,
+        )
+        print(f"captured {count} ops of {args.target} "
+              f"(seed {args.seed}, thread {args.thread}) to {args.out}")
+        print(f"replay with: loopsim run trace:{args.out}")
+        return 0
+
     from repro.analysis.pipetrace import collect_trace, render_pipetrace
 
     if args.dra:
@@ -506,16 +533,43 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1
 
 
+#: Section headings for the ``workloads`` listing, per catalog family.
+_FAMILY_HEADINGS = (
+    ("spec95-int", "Spec95 integer stand-ins"),
+    ("spec95-fp", "Spec95 floating-point stand-ins"),
+    ("smt-pair", "SMT pairs (paper suite)"),
+    ("scenario", "scenario families"),
+    ("scenario-smt", "scenario SMT mixes"),
+    ("smoke", "smoke workloads (CI only, not in the paper's suite)"),
+)
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    print("single-threaded workloads:")
-    for name, profile in SPEC95_PROFILES.items():
-        print(f"  {name:10s} {profile.description.strip().splitlines()[0]}")
-    print("\nSMT pairs:")
-    for name, parts in SMT_PAIRS.items():
-        print(f"  {name:18s} = {' + '.join(parts)}")
-    print("\nsmoke workloads (CI only, not in the paper's suite):")
-    for name, profile in SMOKE_PROFILES.items():
-        print(f"  {name:10s} {profile.description.strip().splitlines()[0]}")
+    import json
+
+    from repro.scenarios import workload_catalog
+
+    catalog = workload_catalog()
+    if args.json:
+        print(json.dumps(catalog, indent=2, sort_keys=True))
+        return 0
+    width = max(len(entry["name"]) for entry in catalog["workloads"])
+    for family, heading in _FAMILY_HEADINGS:
+        rows = [w for w in catalog["workloads"] if w["family"] == family]
+        if not rows:
+            continue
+        print(f"{heading}:")
+        for row in rows:
+            threads = f"x{row['threads']}" if row["threads"] > 1 else "  "
+            print(f"  {row['name']:{width}s} {threads} {row['description']}")
+        print()
+    print("dynamic phase patterns (<workload>@<pattern>[:period], "
+          f"default period {catalog['patterns'][0]['default_period']} ops):")
+    for pattern in catalog["patterns"]:
+        print(f"  {pattern['name']:{width}s}    {pattern['description']}")
+    print()
+    print(f"trace replay: {catalog['trace']['syntax']} — "
+          f"{catalog['trace']['description']}")
     return 0
 
 
@@ -530,7 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one simulation")
-    run_parser.add_argument("workload", choices=RUNNABLE_WORKLOADS)
+    run_parser.add_argument("workload", help=_WORKLOAD_HELP)
     run_parser.add_argument("--dra", action="store_true",
                             help="use the DRA pipeline")
     run_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7),
@@ -553,7 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measured per-loop cost attribution (delay x frequency x "
              "mis-speculation -> cycles lost, lost IPC)",
     )
-    attribute_parser.add_argument("workload", choices=RUNNABLE_WORKLOADS)
+    attribute_parser.add_argument("workload", help=_WORKLOAD_HELP)
     attribute_parser.add_argument("--dra", action="store_true",
                                   help="use the DRA pipeline")
     attribute_parser.add_argument("--rf", type=int, default=3,
@@ -586,7 +640,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loops_parser.set_defaults(func=_cmd_loops)
 
-    workloads_parser = sub.add_parser("workloads", help="list workloads")
+    workloads_parser = sub.add_parser(
+        "workloads",
+        help="list every workload, scenario family, phase pattern, and "
+             "the trace-replay syntax",
+    )
+    workloads_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable catalog instead of text",
+    )
     workloads_parser.set_defaults(func=_cmd_workloads)
 
     verify_parser = sub.add_parser(
@@ -595,7 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
              "checkers over every preset, cross-config laws, fuzzing",
     )
     verify_parser.add_argument(
-        "--workload", default="int_test", choices=RUNNABLE_WORKLOADS,
+        "--workload", default="int_test",
         metavar="WORKLOAD",
         help="workload for the sweep/differential runs "
              "(default int_test)",
@@ -848,13 +910,37 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.set_defaults(func=_cmd_submit)
 
     trace_parser = sub.add_parser(
-        "trace", help="pipeview-style per-instruction timeline"
+        "trace",
+        help="pipeview-style per-instruction timeline, or capture a "
+             "replayable uop trace (`loopsim trace capture <workload> "
+             "-o t.trace.gz`)",
     )
-    trace_parser.add_argument("workload", choices=RUNNABLE_WORKLOADS)
+    trace_parser.add_argument(
+        "workload",
+        help=_WORKLOAD_HELP + "; or the literal `capture` to record a "
+             "trace instead of rendering a timeline",
+    )
+    trace_parser.add_argument(
+        "target", nargs="?", default="",
+        help="with `capture`: the workload whose stream to record",
+    )
     trace_parser.add_argument("--dra", action="store_true")
     trace_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7))
     trace_parser.add_argument("-n", "--instructions", type=int, default=32)
     trace_parser.add_argument("--skip", type=int, default=2_000)
+    trace_parser.add_argument(
+        "-o", "--out", default="", metavar="PATH",
+        help="with `capture`: output trace path (.gz compresses)",
+    )
+    trace_parser.add_argument(
+        "--count", type=int, default=20_000,
+        help="with `capture`: micro-ops to record (default 20000)",
+    )
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--thread", type=int, default=0,
+        help="with `capture`: which thread of an SMT pair to record",
+    )
     trace_parser.set_defaults(func=_cmd_trace)
 
     return parser
@@ -866,7 +952,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except WorkloadError as error:
         print(f"error: {error}", file=sys.stderr)
-        print(f"valid workloads: {', '.join(ALL_WORKLOADS)}", file=sys.stderr)
         return 2
     except SimulationHangError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -66,6 +66,7 @@ from repro.obs.events import (
     FetchEvent,
     LoadResolvedEvent,
     OperandEvent,
+    PhaseEvent,
     ReissueEvent,
     RenameEvent,
     RetireEvent,
@@ -89,7 +90,7 @@ class _ThreadState:
     def __init__(
         self,
         tid: int,
-        generator: SyntheticTraceGenerator,
+        generator,  # any repro.scenarios WorkloadEngine
         rename_map: RenameMap,
         stats: ThreadStats,
     ):
@@ -180,12 +181,22 @@ class Simulator:
         self.obs = None
         self.threads: List[_ThreadState] = []
         for tid, profile in enumerate(profiles):
-            generator = SyntheticTraceGenerator(
-                profile,
-                seed=seed,
-                thread=tid,
-                page_bytes=config.hierarchy.tlb.page_bytes,
-            )
+            # duck-typed engine dispatch: scenario entries (trace replay,
+            # dynamic schedules) carry build_engine; plain profiles keep
+            # the historical generator path bit-for-bit
+            if hasattr(profile, "build_engine"):
+                generator = profile.build_engine(
+                    seed=seed,
+                    thread=tid,
+                    page_bytes=config.hierarchy.tlb.page_bytes,
+                )
+            else:
+                generator = SyntheticTraceGenerator(
+                    profile,
+                    seed=seed,
+                    thread=tid,
+                    page_bytes=config.hierarchy.tlb.page_bytes,
+                )
             rename_map = RenameMap(self.regfile, start_cycle=0)
             if self.dra is not None:
                 # initial architectural state is committed in the register
@@ -223,6 +234,24 @@ class Simulator:
             self.predictor.clock = lambda: self.cycle
         elif isinstance(self.predictor, ProbedPredictor):
             self.predictor = self.predictor.inner
+        for thread in self.threads:
+            generator = thread.generator
+            if not hasattr(generator, "phase_hook"):
+                continue
+            if bus is None:
+                generator.phase_hook = None
+                continue
+
+            def _emit_phase(
+                ordinal: int, index: int, name: str, _tid: int = thread.tid
+            ) -> None:
+                self.obs.emit(PhaseEvent(
+                    cycle=self.cycle, thread=_tid, name=name, index=ordinal
+                ))
+
+            generator.phase_hook = _emit_phase
+            # anchor attribution: announce the phase in effect right now
+            generator.announce()
 
     # ------------------------------------------------------------------ events
 

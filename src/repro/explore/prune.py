@@ -201,7 +201,12 @@ class AnalyticalPruner:
         self.settings = settings or PruneSettings()
         self.profiles: List[WorkloadProfile] = []
         for name in workloads:
-            self.profiles.extend(workload_profiles(name))
+            for entry in workload_profiles(name):
+                # scenario specs (traces, dynamic schedules) supply a
+                # representative profile for the analytical priors
+                if hasattr(entry, "prior_profile"):
+                    entry = entry.prior_profile()
+                self.profiles.append(entry)
         self.records: List[CalibrationRecord] = []
         self._predictions: Dict[str, Prediction] = {}
 

@@ -31,7 +31,10 @@ from typing import Any, Dict, Optional, Union
 #: Bump when the payload layout (or anything feeding cell keys) changes
 #: incompatibly; old entries then read as misses.
 #: v2: CoreStats grew ``obs_snapshot`` — v1 pickles lack the attribute.
-CACHE_VERSION = 2
+#: v3: cell keys fold in the workload's *content* signature, so a
+#: retuned profile, an edited phase schedule, or a recaptured trace
+#: file can never alias an entry computed from different content.
+CACHE_VERSION = 3
 
 #: Environment variable consulted for a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -54,10 +57,25 @@ def cell_key(workload: str, config: Any, settings: Any, seed: int) -> str:
     content address needs.  ``settings.seeds`` is deliberately excluded
     via the explicit ``seed`` so a cell's identity does not depend on
     which campaign requested it.
+
+    The workload contributes both its *name* (human-auditable) and its
+    resolved *content signature*
+    (:func:`repro.scenarios.workload_signature`): profile knobs, phase
+    schedules, and trace-file bytes all feed the digest, so same-named
+    workloads with different content occupy different cells.
     """
+    from repro.scenarios import workload_signature
+
     settings_repr = repr(settings).replace(repr(getattr(settings, "seeds", ())), "()")
     text = "|".join(
-        (str(CACHE_VERSION), workload, repr(config), settings_repr, str(seed))
+        (
+            str(CACHE_VERSION),
+            workload,
+            workload_signature(workload),
+            repr(config),
+            settings_repr,
+            str(seed),
+        )
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -54,6 +54,7 @@ from repro.obs.events import (
     IssueEvent,
     LoadResolvedEvent,
     OperandEvent,
+    PhaseEvent,
     PredictorEvent,
     ReissueEvent,
     RenameEvent,
@@ -76,6 +77,7 @@ _LAZY = {
     "LoopAttribution": "repro.obs.attribution",
     "AttributionReport": "repro.obs.attribution",
     "AttributionEntry": "repro.obs.attribution",
+    "PhaseSlice": "repro.obs.attribution",
     "JsonlExporter": "repro.obs.export",
     "ChromeTraceExporter": "repro.obs.export",
     "result_snapshot": "repro.obs.export",
@@ -107,6 +109,7 @@ __all__ = [
     "DropEvent",
     "WritebackEvent",
     "OperandEvent",
+    "PhaseEvent",
     "LoadResolvedEvent",
     "BranchOutcomeEvent",
     "PredictorEvent",
@@ -121,6 +124,7 @@ __all__ = [
     "LoopAttribution",
     "AttributionReport",
     "AttributionEntry",
+    "PhaseSlice",
     "JsonlExporter",
     "ChromeTraceExporter",
     "result_snapshot",

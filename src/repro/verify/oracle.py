@@ -1,10 +1,11 @@
 """The golden retire model: an in-order reference scoreboard.
 
-The synthetic workload generator is deterministic — the same
-``(profile, seed, thread, page_bytes)`` produces the same micro-op
-stream — so a trivially-correct in-order model can replay the *same*
-program the out-of-order core is running and check, instruction by
-instruction at retirement:
+Every workload engine is deterministic — ``clone()`` restarts the same
+stream from position 0 and ``fast_forward(n)`` advances it exactly
+``n`` ops (the :class:`~repro.scenarios.base.WorkloadEngine` contract)
+— so a trivially-correct in-order model can replay the *same* program
+the out-of-order core is running and check, instruction by instruction
+at retirement:
 
 * **stream equality** — the retired micro-op is exactly the next op of
   the reference stream (squashes and replays must be invisible);
@@ -29,11 +30,10 @@ without touching timing.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.isa import OpClass
 from repro.verify.invariants import Violation
-from repro.workloads import SyntheticTraceGenerator
 
 
 class GoldenRetireModel:
@@ -48,7 +48,7 @@ class GoldenRetireModel:
         self.violations: List[Violation] = []
         self.violation_count = 0
         self.retired_checked = 0
-        self._reference: Dict[int, SyntheticTraceGenerator] = {}
+        self._reference: Dict[int, Any] = {}
         self._committed: Dict[int, List[int]] = {}
         self._last_uid: Dict[int, int] = {}
         self._last_retire_cycle: Dict[int, int] = {}
@@ -71,14 +71,8 @@ class GoldenRetireModel:
         """
         for thread in simulator.threads:
             generator = thread.generator
-            reference = SyntheticTraceGenerator(
-                generator.profile,
-                seed=generator.seed,
-                thread=generator.thread,
-                page_bytes=generator.page_bytes,
-            )
-            for _ in range(generator.emitted):
-                reference.next_op()
+            reference = generator.clone()
+            reference.fast_forward(generator.emitted)
             self._reference[thread.tid] = reference
             self._committed[thread.tid] = list(thread.rename_map.map)
             self._last_uid[thread.tid] = -1

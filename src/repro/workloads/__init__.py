@@ -22,6 +22,7 @@ from repro.workloads.profiles import (
     DependencyModel,
     MemoryModel,
     WorkloadProfile,
+    SCENARIO_PROFILES,
     SMOKE_PROFILES,
     SPEC95_PROFILES,
 )
@@ -30,6 +31,8 @@ from repro.workloads.suites import (
     ALL_WORKLOADS,
     FP_WORKLOADS,
     INT_WORKLOADS,
+    SCENARIO_PAIRS,
+    SCENARIO_WORKLOADS,
     SMOKE_WORKLOADS,
     SMT_PAIRS,
     workload_profiles,
@@ -41,12 +44,15 @@ __all__ = [
     "MemoryModel",
     "DependencyModel",
     "WorkloadProfile",
+    "SCENARIO_PROFILES",
     "SMOKE_PROFILES",
     "SPEC95_PROFILES",
     "SyntheticTraceGenerator",
     "ALL_WORKLOADS",
     "INT_WORKLOADS",
     "FP_WORKLOADS",
+    "SCENARIO_PAIRS",
+    "SCENARIO_WORKLOADS",
     "SMOKE_WORKLOADS",
     "SMT_PAIRS",
     "workload_profiles",

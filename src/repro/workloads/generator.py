@@ -140,6 +140,7 @@ class SyntheticTraceGenerator:
         self._rng = random.Random(f"{profile.name}/{seed}/{thread}")
         self._pc_base = (thread + 1) << 28
         self._next_pc = self._pc_base
+        self._code_limit = self._pc_base + profile.branches.code_bytes
         self._emitted = 0
         self.page_bytes = page_bytes
 
@@ -239,8 +240,9 @@ class SyntheticTraceGenerator:
         pc = self._next_pc
         self._next_pc += 4
         # keep the linear region bounded so the I-side footprint stays
-        # modest (hot Spec95 loops live comfortably in a 64 KB L1I)
-        if self._next_pc >= self._pc_base + 0x4000:
+        # modest (hot Spec95 loops live comfortably in a 64 KB L1I);
+        # icache-hostile profiles widen it via ``branches.code_bytes``
+        if self._next_pc >= self._code_limit:
             self._next_pc = self._pc_base
         return pc
 
@@ -427,6 +429,31 @@ class SyntheticTraceGenerator:
         by this count continues the stream exactly (the verification
         oracle relies on this)."""
         return self._emitted
+
+    @property
+    def name(self) -> str:
+        """The engine name (the profile it synthesises)."""
+        return self.profile.name
+
+    def clone(self) -> "SyntheticTraceGenerator":
+        """A fresh generator with the same identity, at stream start.
+
+        ``clone().fast_forward(self.emitted)`` reproduces this
+        generator's position exactly — the determinism contract every
+        :class:`~repro.scenarios.base.WorkloadEngine` implements and the
+        verification oracle relies on.
+        """
+        return SyntheticTraceGenerator(
+            self.profile,
+            seed=self.seed,
+            thread=self.thread,
+            page_bytes=self.page_bytes,
+        )
+
+    def fast_forward(self, count: int) -> None:
+        """Advance the stream by ``count`` ops, discarding them."""
+        for _ in range(count):
+            self.next_op()
 
     def next_op(self) -> MicroOp:
         """Generate the next micro-op of the stream."""

@@ -44,6 +44,12 @@ class BranchModel:
     random_bias_hi: float = 0.95
     #: Fraction of control ops that are calls/returns/jumps.
     indirect_frac: float = 0.05
+    #: Linear code footprint walked by sequential PCs.  The default
+    #: matches the original hard-wired 16 KB region (hot Spec95 loops
+    #: fit a 64 KB L1I); server-class icache-hostile profiles widen it
+    #: so the front end (BTB, line predictor) sees far more distinct
+    #: PCs than it has entries.
+    code_bytes: int = 16 * KB
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loop_site_frac <= 1.0:
@@ -52,6 +58,8 @@ class BranchModel:
             raise ValueError("random bias bounds must satisfy 0<=lo<=hi<=1")
         if self.loop_trip < 1:
             raise ValueError("loop_trip must be >= 1")
+        if not 1 * KB <= self.code_bytes <= 64 * MB:
+            raise ValueError("code_bytes must be in [1 KB, 64 MB]")
 
     @property
     def expected_mispredict_rate(self) -> float:
@@ -230,9 +238,20 @@ SPEC95_PROFILES: Dict[str, WorkloadProfile] = {}
 #: workload list never pick one up by accident.
 SMOKE_PROFILES: Dict[str, WorkloadProfile] = {}
 
+#: Scenario profile families beyond the paper's Spec95 stand-ins
+#: (pointer chasing, interpreter dispatch, server-class icache-hostile).
+#: A separate registry so ``ALL_WORKLOADS`` — the paper's figure suite —
+#: never changes shape; resolve them by name like any other workload.
+SCENARIO_PROFILES: Dict[str, WorkloadProfile] = {}
+
 
 def _register(profile: WorkloadProfile) -> WorkloadProfile:
     SPEC95_PROFILES[profile.name] = profile
+    return profile
+
+
+def _register_scenario(profile: WorkloadProfile) -> WorkloadProfile:
+    SCENARIO_PROFILES[profile.name] = profile
     return profile
 
 
@@ -481,6 +500,103 @@ _register(
 # ---------------------------------------------------------------------------
 # Smoke workloads (CI / quick local checks; not part of the paper's suite)
 # ---------------------------------------------------------------------------
+
+# ---------------------------------------------------------------------------
+# Scenario families (repro.scenarios; never part of ALL_WORKLOADS)
+# ---------------------------------------------------------------------------
+
+_register_scenario(
+    WorkloadProfile(
+        name="pointer_chase",
+        description=(
+            "Linked-structure traversal: one serial dependence strand of "
+            "loads whose addresses chain through a cold, page-hopping "
+            "footprint.  The window cannot overlap the misses, so the "
+            "load resolution loop is hit on nearly every step."
+        ),
+        mix=_int_mix(branch=0.08, load=0.38, store=0.04),
+        branches=BranchModel(
+            num_sites=48,
+            loop_site_frac=0.75,
+            loop_trip=24,
+            random_bias_lo=0.8,
+            random_bias_hi=0.95,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.30, warm_frac=0.25, cold_frac=0.40, stream_frac=0.05,
+            hot_bytes=8 * KB, warm_bytes=512 * KB,
+            cold_pages=8192, page_dwell=4,
+            alias_site_frac=0.02,
+        ),
+        deps=DependencyModel(
+            strands=1,
+            chain_frac=0.90,
+            near_mean=1.5,
+            far_frac=0.05,
+            two_src_frac=0.30,
+            global_frac=0.06,
+        ),
+    )
+)
+
+_register_scenario(
+    WorkloadProfile(
+        name="interp_dispatch",
+        description=(
+            "Bytecode-interpreter dispatch: branch-dense code with a huge "
+            "share of indirect control (threaded dispatch), weakly biased "
+            "data-dependent branches, and a hot operand-stack working "
+            "set.  A branch-resolution-loop stress test."
+        ),
+        mix=_int_mix(branch=0.22, load=0.26, store=0.08),
+        branches=BranchModel(
+            num_sites=512,
+            loop_site_frac=0.20,
+            loop_trip=4,
+            random_bias_lo=0.55,
+            random_bias_hi=0.80,
+            indirect_frac=0.45,
+            code_bytes=32 * KB,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.88, warm_frac=0.08, cold_frac=0.01, stream_frac=0.03,
+            hot_bytes=32 * KB, warm_bytes=256 * KB,
+        ),
+        deps=DependencyModel(
+            strands=4, chain_frac=0.45, near_mean=3.0, two_src_frac=0.5,
+        ),
+    )
+)
+
+_register_scenario(
+    WorkloadProfile(
+        name="server_icache",
+        description=(
+            "Server-class icache-hostile code: a 256 KB linear code "
+            "footprint with many moderately biased branch sites, so the "
+            "BTB and line predictor see far more distinct PCs than they "
+            "hold; data references are flat with a measurable cold tail."
+        ),
+        mix=_int_mix(branch=0.19, load=0.24, store=0.10),
+        branches=BranchModel(
+            num_sites=1024,
+            loop_site_frac=0.40,
+            loop_trip=8,
+            random_bias_lo=0.70,
+            random_bias_hi=0.90,
+            indirect_frac=0.12,
+            code_bytes=256 * KB,
+        ),
+        memory=MemoryModel(
+            hot_frac=0.60, warm_frac=0.20, cold_frac=0.15, stream_frac=0.05,
+            hot_bytes=32 * KB, warm_bytes=512 * KB,
+            cold_pages=4096, page_dwell=16,
+        ),
+        deps=DependencyModel(
+            strands=8, chain_frac=0.30, near_mean=5.0, two_src_frac=0.5,
+        ),
+    )
+)
 
 SMOKE_PROFILES["int_test"] = WorkloadProfile(
     name="int_test",

@@ -2,8 +2,20 @@
 
 The paper evaluates ten single-threaded Spec95 codes plus three SMT
 pairs.  :func:`workload_profiles` resolves a suite name — single
-benchmark or pair — into the per-thread profile list the simulator
-consumes.
+benchmark or pair — into the per-thread entry list the simulator
+consumes.  Beyond the paper's names it resolves the scenario
+vocabulary (:mod:`repro.scenarios`):
+
+* scenario profile families (``pointer_chase``, ``interp_dispatch``,
+  ``server_icache``) and heterogeneous SMT mixes over them;
+* ``trace:<path>`` — replay of a captured uop trace;
+* ``<base>@<pattern>[:<period>]`` — phase-varying dynamic workloads
+  (``swim@bursty``, ``int_test@diurnal:2048``, ...).
+
+Scenario entries are :class:`~repro.scenarios.base.EngineSpec` objects
+rather than plain profiles; the simulator builds the matching engine
+per thread.  ``ALL_WORKLOADS`` — the paper's figure suite — is
+deliberately untouched by any of this.
 """
 
 from __future__ import annotations
@@ -12,6 +24,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import WorkloadError
 from repro.workloads.profiles import (
+    SCENARIO_PROFILES,
     SMOKE_PROFILES,
     SPEC95_PROFILES,
     WorkloadProfile,
@@ -38,13 +51,38 @@ ALL_WORKLOADS: Tuple[str, ...] = (
 #: Resolvable smoke workloads (CI runs; never in ALL_WORKLOADS).
 SMOKE_WORKLOADS: Tuple[str, ...] = tuple(SMOKE_PROFILES)
 
+#: Heterogeneous SMT mixes over the scenario families: a latency-bound
+#: thread paired with a front-end-hostile or throughput thread.  Kept
+#: out of SMT_PAIRS (hence out of ALL_WORKLOADS) so figure campaigns
+#: never change shape.
+SCENARIO_PAIRS: Dict[str, Tuple[str, str]] = {
+    "server+pointer": ("server_icache", "pointer_chase"),
+    "interp+swim": ("interp_dispatch", "swim"),
+    "pointer+compress": ("pointer_chase", "compress"),
+}
+
+#: Statically named scenario workloads (families + mixes).  Dynamic
+#: (``@pattern``) and trace (``trace:``) names are open-ended syntax,
+#: not a finite list.
+SCENARIO_WORKLOADS: Tuple[str, ...] = (
+    tuple(SCENARIO_PROFILES) + tuple(SCENARIO_PAIRS)
+)
+
+
+def _named_profile(name: str) -> WorkloadProfile:
+    for registry in (SPEC95_PROFILES, SCENARIO_PROFILES, SMOKE_PROFILES):
+        if name in registry:
+            return registry[name]
+    raise WorkloadError(f"unknown workload {name!r}")
+
 
 def workload_profiles(name: str) -> List[WorkloadProfile]:
-    """Resolve a workload name to one profile per hardware thread.
+    """Resolve a workload name to one entry per hardware thread.
 
     Single benchmarks return a one-element list; SMT pair names return
-    two profiles.  Smoke workloads (``int_test``) resolve too, though
-    they are not part of the paper's suite.  Raises
+    two entries.  Plain names resolve to
+    :class:`~repro.workloads.WorkloadProfile`; ``trace:`` and
+    ``@pattern`` names resolve to engine specs.  Raises
     :class:`~repro.errors.WorkloadError` for unknown names.
     """
     if name in SPEC95_PROFILES:
@@ -53,7 +91,24 @@ def workload_profiles(name: str) -> List[WorkloadProfile]:
         return [SPEC95_PROFILES[part] for part in SMT_PAIRS[name]]
     if name in SMOKE_PROFILES:
         return [SMOKE_PROFILES[name]]
+    if name in SCENARIO_PROFILES:
+        return [SCENARIO_PROFILES[name]]
+    if name in SCENARIO_PAIRS:
+        return [_named_profile(part) for part in SCENARIO_PAIRS[name]]
+    # scenario syntax (lazy imports: repro.scenarios imports this module)
+    if name.startswith("trace:"):
+        from repro.scenarios.trace import TraceSpec
+
+        path = name[len("trace:"):]
+        if not path:
+            raise WorkloadError("trace: workload needs a path (trace:<path>)")
+        return [TraceSpec(path)]
+    if "@" in name:
+        from repro.scenarios.dynamic import resolve_dynamic
+
+        return resolve_dynamic(name)
     raise WorkloadError(
         f"unknown workload {name!r}; known: "
-        f"{', '.join(ALL_WORKLOADS + SMOKE_WORKLOADS)}"
+        f"{', '.join(ALL_WORKLOADS + SMOKE_WORKLOADS + SCENARIO_WORKLOADS)} "
+        f"— plus trace:<path> and <base>@<pattern>[:<period>] scenarios"
     )

@@ -69,3 +69,48 @@ def test_golden_file_covers_both_machines():
     for rf in (3, 5, 7):
         assert f"base_rf{rf}" in labels
         assert f"dra_rf{rf}" in labels
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN["scenario_cells"]))
+def test_scenario_golden_cell(label):
+    """Scenario-family workloads pin exactly, like the core cells.
+
+    Each cell embeds its own run geometry so families with different
+    characteristics can pick suitable warmups.
+    """
+    expected = GOLDEN["scenario_cells"][label]
+    run = expected["run"]
+    if run["kind"] == "dra":
+        config = CoreConfig.with_dra(run["rf"])
+    else:
+        config = CoreConfig.base(run["rf"])
+    assert config.label == expected["pipe"]
+    stats = simulate(
+        run["workload"],
+        config,
+        instructions=run["instructions"],
+        warmup=run["warmup"],
+        detailed_warmup=run["detailed_warmup"],
+        seed=run["seed"],
+    ).stats
+    got = {
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+        "total_reissues": stats.total_reissues,
+    }
+    assert got == {
+        key: expected[key] for key in got
+    }, (
+        f"{label}: timing diverged from the golden pin; if the change "
+        f"is intentional run scripts/update_golden.py and review the "
+        f"diff"
+    )
+
+
+def test_scenario_pins_cover_a_new_family():
+    """At least one scenario-family workload stays pinned."""
+    families = {
+        cell["run"]["workload"]
+        for cell in GOLDEN["scenario_cells"].values()
+    }
+    assert "pointer_chase" in families
