@@ -12,6 +12,7 @@ test failure with a reviewable diff instead of a silent drift.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -20,6 +21,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
+from repro.core.backend import parse_backend  # noqa: E402
 from repro.core.config import CoreConfig  # noqa: E402
 from repro.core.simulator import simulate  # noqa: E402
 
@@ -111,6 +113,29 @@ def collect() -> dict:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend", default="reference", metavar="SPEC",
+        help="kernel backend to regenerate from; anything but the "
+             "reference loop is refused — pins are ground truth, and "
+             "ground truth comes only from the reference kernel "
+             "(every other backend is *tested against* these numbers)",
+    )
+    args = parser.parse_args()
+    try:
+        backend = parse_backend(args.backend)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if backend.name != "reference":
+        print(
+            f"error: refusing to regenerate golden pins from backend "
+            f"{backend.token!r}; pins define the ground truth other "
+            f"backends are verified against, so they may only come "
+            f"from the reference kernel",
+            file=sys.stderr,
+        )
+        return 2
     golden = collect()
     os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
     with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:

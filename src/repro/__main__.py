@@ -85,6 +85,7 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings(
         instructions=args.instructions,
         seeds=tuple(range(args.seeds)),
+        backend=getattr(args, "backend", "reference"),
     )
 
 
@@ -151,6 +152,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "retire model + invariant checkers); violations fail the "
              "cell",
     )
+    parser.add_argument(
+        "--backend", default="reference", metavar="SPEC",
+        help="kernel backend: reference, optimized, sampled, or "
+             "sampled:<windows>x<measure>[+<warmup>] "
+             "(default reference)",
+    )
 
 
 def _run_config(args: argparse.Namespace) -> CoreConfig:
@@ -180,9 +187,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = simulate(
         args.workload, config, instructions=args.instructions,
         seed=args.seed, obs=bus,
+        backend=getattr(args, "backend", "reference"),
     )
     stats = result.stats
     print(result.describe())
+    if result.sampling is not None:
+        print(f"  {result.sampling.describe()}")
     print()
     for key, value in stats.summary().items():
         print(f"  {key:26s} {value:12.4f}")
@@ -408,6 +418,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         detailed_warmup=args.detailed_warmup,
         budget=args.budget,
+        backend=args.backend,
+        rung_backends=(
+            tuple(args.rung_backends.split(","))
+            if args.rung_backends else None
+        ),
     )
     result = run_exploration(
         space,
@@ -512,6 +527,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 instructions=args.instructions,
                 warmup=args.warmup,
                 detailed_warmup=args.detailed_warmup,
+                backend=args.backend,
             )
         except ServiceError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -599,6 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an event trace of the measured run: *.jsonl for "
              "JSON-lines, anything else for Chrome trace-event format "
              "(viewable in Perfetto)",
+    )
+    run_parser.add_argument(
+        "--backend", default="reference", metavar="SPEC",
+        help="kernel backend: reference, optimized, sampled, or "
+             "sampled:<windows>x<measure>[+<warmup>]",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -791,6 +812,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="run every cell under the differential verifier",
     )
+    explore_parser.add_argument(
+        "--backend", default="reference", metavar="SPEC",
+        help="kernel backend for every rung (default reference)",
+    )
+    explore_parser.add_argument(
+        "--rung-backends", default="", metavar="SPEC,SPEC,...",
+        help="per-rung backend overrides, cheapest rung first; shorter "
+             "lists repeat their last entry (e.g. sampled,optimized: "
+             "sampled triage rungs, exact final scoring)",
+    )
     explore_parser.set_defaults(func=_cmd_explore)
 
     serve_parser = sub.add_parser(
@@ -881,6 +912,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--instructions", type=int, default=10_000)
     submit_parser.add_argument("--warmup", type=int, default=100_000)
     submit_parser.add_argument("--detailed-warmup", type=int, default=1_500)
+    submit_parser.add_argument(
+        "--backend", default="reference", metavar="SPEC",
+        help="kernel backend executing the cell (default reference)",
+    )
     submit_parser.add_argument("--seed", type=int, default=0)
     submit_parser.add_argument(
         "--priority", default="interactive",

@@ -13,6 +13,14 @@ from repro.core.config import (
 )
 from repro.core.stats import CoreStats, OperandSource
 from repro.core.pipeline import Simulator
+from repro.core.backend import (
+    KernelBackend,
+    SamplingReport,
+    available_backends,
+    get_backend,
+    parse_backend,
+    register_backend,
+)
 from repro.core.simulator import SimResult, simulate
 
 __all__ = [
@@ -22,6 +30,12 @@ __all__ = [
     "CoreStats",
     "OperandSource",
     "Simulator",
+    "KernelBackend",
+    "SamplingReport",
+    "available_backends",
+    "get_backend",
+    "parse_backend",
+    "register_backend",
     "SimResult",
     "simulate",
 ]

@@ -179,6 +179,8 @@ class Simulator:
         #: optional EventBus (repro.obs); every probe site guards with a
         #: single ``is None`` test, so detached runs pay nothing
         self.obs = None
+        #: populated by the sampled kernel backend with its error model
+        self.sampling_report = None
         self.threads: List[_ThreadState] = []
         for tid, profile in enumerate(profiles):
             # duck-typed engine dispatch: scenario entries (trace replay,
@@ -1062,6 +1064,15 @@ class Simulator:
         """
         if self.cycle != 0 or self.retired != 0:
             raise RuntimeError("functional warmup must precede detailed simulation")
+        self._functional_stream(ops_per_thread)
+
+    def _functional_stream(self, ops_per_thread: int) -> None:
+        """Stream ops through predictors/caches without pipeline timing.
+
+        The engine behind :meth:`functional_warmup`; the sampled
+        backend also calls it mid-run to fast-forward between detailed
+        measurement windows.
+        """
         for thread in self.threads:
             for i in range(ops_per_thread):
                 op = thread.next_op()

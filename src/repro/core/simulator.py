@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
+from repro.core.backend import KernelBackend, SamplingReport, parse_backend
 from repro.core.config import CoreConfig
-from repro.core.pipeline import Simulator
 from repro.core.stats import CoreStats
 from repro.errors import ConfigError
 from repro.workloads import WorkloadProfile, workload_profiles
@@ -36,6 +36,10 @@ class SimResult:
     config: CoreConfig
     stats: CoreStats
     seed: int
+    #: cache token of the kernel backend that produced the run
+    backend: str = "reference"
+    #: error model when the run was sampled rather than exact
+    sampling: Optional[SamplingReport] = None
 
     @property
     def ipc(self) -> float:
@@ -68,6 +72,7 @@ def simulate(
     max_cycles: Optional[int] = None,
     obs=None,
     verifier=None,
+    backend: Union[str, KernelBackend, None] = None,
 ) -> SimResult:
     """Simulate ``workload`` on ``config`` and return the result.
 
@@ -102,6 +107,14 @@ def simulate(
         returned result has been checked against the golden model and
         the event-stream invariants.  Inspect ``verifier.violations``
         (or call ``verifier.raise_if_failed()``) afterwards.
+    backend:
+        Kernel backend selection: a registered name (``"reference"``,
+        ``"optimized"``, ``"sampled"``), a parameterised spec like
+        ``"sampled:8x500+150"``, a :class:`~repro.core.backend.
+        KernelBackend` instance, or ``None`` for the reference loop.
+        Verification requires an exact backend (bit-identical retire
+        stream); combining ``verifier`` with an inexact backend raises
+        :class:`~repro.errors.ConfigError`.
     """
     if instructions < 1:
         raise ConfigError(
@@ -124,7 +137,14 @@ def simulate(
         name = "+".join(p.name for p in profiles)
     if not profiles:
         raise ConfigError("workload resolved to an empty profile list")
-    simulator = Simulator(config, profiles, seed=seed)
+    kernel = parse_backend(backend)
+    if verifier is not None and not kernel.exact:
+        raise ConfigError(
+            f"backend {kernel.token!r} is not exact and cannot be "
+            "verified; use an exact backend (reference/optimized) or "
+            "validate sampled runs via SamplingReport.cross_check"
+        )
+    simulator = kernel.build(config, profiles, seed=seed)
     if warmup:
         simulator.functional_warmup(warmup)
     if verifier is not None:
@@ -135,7 +155,16 @@ def simulate(
         verifier.attach(simulator, obs)
     if obs is not None:
         simulator.attach_obs(obs)
-    simulator.run(instructions, warmup=detailed_warmup, max_cycles=max_cycles)
+    kernel.run(
+        simulator, instructions, warmup=detailed_warmup, max_cycles=max_cycles
+    )
     if verifier is not None:
         verifier.finish(simulator.stats)
-    return SimResult(workload=name, config=config, stats=simulator.stats, seed=seed)
+    return SimResult(
+        workload=name,
+        config=config,
+        stats=simulator.stats,
+        seed=seed,
+        backend=kernel.token,
+        sampling=simulator.sampling_report,
+    )

@@ -40,6 +40,9 @@ class ExperimentSettings:
     warmup: int = 100_000
     detailed_warmup: int = 1_500
     seeds: Tuple[int, ...] = (0,)
+    #: kernel backend spec (see :func:`repro.core.backend.parse_backend`);
+    #: folded into cell keys via this dataclass's repr
+    backend: str = "reference"
 
     @classmethod
     def quick(cls) -> "ExperimentSettings":

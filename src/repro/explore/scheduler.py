@@ -60,6 +60,13 @@ class HalvingSettings:
     detailed_warmup: int = 500
     #: Total detailed-instruction budget (None = the rung geometry).
     budget: Optional[int] = None
+    #: Kernel backend for every rung (a :func:`repro.core.backend.
+    #: parse_backend` spec).
+    backend: str = "reference"
+    #: Optional per-rung backend override, one entry per rung from the
+    #: cheapest up; shorter tuples repeat their last entry.  The classic
+    #: use: sampled early rungs to triage, an exact final rung to score.
+    rung_backends: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.rungs < 1:
@@ -74,10 +81,18 @@ class HalvingSettings:
             raise ConfigError("need at least one seed")
         if self.budget is not None and self.budget < 1:
             raise ConfigError("budget must be positive")
+        if self.rung_backends is not None and not self.rung_backends:
+            raise ConfigError("rung_backends cannot be empty; use None")
 
     def rung_instructions(self, rung: int) -> int:
         """Detailed instructions simulated per cell at one rung."""
         return self.base_instructions * self.growth ** rung
+
+    def rung_backend(self, rung: int) -> str:
+        """Backend spec used at one rung."""
+        if self.rung_backends is None:
+            return self.backend
+        return self.rung_backends[min(rung, len(self.rung_backends) - 1)]
 
     @property
     def final_instructions(self) -> int:
@@ -107,6 +122,8 @@ class RungRecord:
     failures: List[CellFailure] = field(default_factory=list)
     #: detailed instructions charged to the budget by this rung.
     instructions_spent: int = 0
+    #: kernel backend spec this rung ran under.
+    backend: str = "reference"
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -235,6 +252,7 @@ def run_search(
             warmup=settings.warmup,
             detailed_warmup=settings.detailed_warmup,
             seeds=settings.seeds,
+            backend=settings.rung_backend(rung_index),
         )
         pairs = [
             (workload, candidate.config)
@@ -273,6 +291,7 @@ def run_search(
                 metrics=metrics,
                 failures=list(campaign.failures),
                 instructions_spent=spent,
+                backend=experiment.backend,
             )
         )
         alive = survivors

@@ -34,7 +34,11 @@ from typing import Any, Dict, Optional, Union
 #: v3: cell keys fold in the workload's *content* signature, so a
 #: retuned profile, an edited phase schedule, or a recaptured trace
 #: file can never alias an entry computed from different content.
-CACHE_VERSION = 3
+#: v4: ``ExperimentSettings`` grew a ``backend`` field (kernel backend
+#: selection) and ``SimResult`` grew backend/sampling attributes — the
+#: settings repr feeding keys changed shape, and v3 payloads lack the
+#: new result fields.
+CACHE_VERSION = 4
 
 #: Environment variable consulted for a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -220,6 +220,7 @@ def _simulate_cell(cell: Cell, verify: bool = False) -> Any:
         detailed_warmup=settings.detailed_warmup,
         seed=cell.seed,
         verifier=verifier,
+        backend=getattr(settings, "backend", "reference"),
     )
     if verifier is not None:
         verifier.raise_if_failed(context=cell.label)

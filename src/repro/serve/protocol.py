@@ -110,6 +110,7 @@ def make_cell_spec(
     instructions: int = ExperimentSettings.instructions,
     warmup: int = ExperimentSettings.warmup,
     detailed_warmup: int = ExperimentSettings.detailed_warmup,
+    backend: str = ExperimentSettings.backend,
 ) -> Dict[str, Any]:
     """A client-side cell spec (see module docstring for the shape)."""
     config: Dict[str, Any] = {"dra": bool(dra), "rf": int(rf)}
@@ -126,6 +127,7 @@ def make_cell_spec(
         "instructions": int(instructions),
         "warmup": int(warmup),
         "detailed_warmup": int(detailed_warmup),
+        "backend": str(backend),
     }
 
 
@@ -168,6 +170,12 @@ def build_cell(spec: Dict[str, Any]) -> Cell:
     if conf.get("recovery"):
         config = config.replace(load_recovery=LoadRecovery(conf["recovery"]))
     seed = int(spec.get("seed", 0))
+    backend = str(spec.get("backend", ExperimentSettings.backend))
+    # reject bad backend specs here so the server replies with an error
+    # instead of accepting a poison job
+    from repro.core.backend import parse_backend
+
+    parse_backend(backend)
     settings = ExperimentSettings(
         instructions=int(spec.get("instructions",
                                   ExperimentSettings.instructions)),
@@ -175,6 +183,7 @@ def build_cell(spec: Dict[str, Any]) -> Cell:
         detailed_warmup=int(spec.get("detailed_warmup",
                                      ExperimentSettings.detailed_warmup)),
         seeds=(seed,),
+        backend=backend,
     )
     return Cell(workload=workload, config=config, settings=settings,
                 seed=seed)
@@ -191,6 +200,7 @@ def result_to_wire(result: Any, want_pickle: bool) -> Dict[str, Any]:
         "workload": result.workload,
         "config": result.config.label,
         "seed": result.seed,
+        "backend": getattr(result, "backend", "reference"),
         "summary": {k: float(v) for k, v in result.stats.summary().items()},
     }
     if want_pickle:

@@ -43,7 +43,8 @@ class DifferentialCheck:
         return f"{status} {self.name}: {self.detail}"
 
 
-def _run(workload, config, instructions, warmup, detailed_warmup, seed):
+def _run(workload, config, instructions, warmup, detailed_warmup, seed,
+         backend="reference"):
     from repro.core.simulator import simulate
 
     return simulate(
@@ -53,6 +54,7 @@ def _run(workload, config, instructions, warmup, detailed_warmup, seed):
         warmup=warmup,
         detailed_warmup=detailed_warmup,
         seed=seed,
+        backend=backend,
     ).stats
 
 
@@ -70,6 +72,7 @@ def check_dra_base_equivalence(
     warmup: int = 20_000,
     detailed_warmup: int = 400,
     seed: int = 0,
+    backend: str = "reference",
 ) -> DifferentialCheck:
     """``base(1)`` and infinite-CRC ``with_dra(3)`` must match exactly."""
     base_config = CoreConfig.base(1)
@@ -77,10 +80,12 @@ def check_dra_base_equivalence(
         3, dra=replace(DRAConfig(), crc_entries=768, counter_bits=16)
     )
     base_stats = _run(
-        workload, base_config, instructions, warmup, detailed_warmup, seed
+        workload, base_config, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
     )
     dra_stats = _run(
-        workload, dra_config, instructions, warmup, detailed_warmup, seed
+        workload, dra_config, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
     )
     mismatches = []
     if base_stats.cycles != dra_stats.cycles:
@@ -115,12 +120,14 @@ def check_infinite_crc(
     warmup: int = 20_000,
     detailed_warmup: int = 400,
     seed: int = 0,
+    backend: str = "reference",
 ) -> DifferentialCheck:
     """A CRC covering every preg must never miss an operand."""
     config = preset(preset_name)
     config = replace(config, dra=_infinite_crc(config))
     stats = _run(
-        workload, config, instructions, warmup, detailed_warmup, seed
+        workload, config, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
     )
     name = f"infinite-crc[{preset_name}]"
     if stats.operand_miss_events:
@@ -143,6 +150,7 @@ def check_rf_monotonicity(
     detailed_warmup: int = 300,
     seed: int = 0,
     deltas=(0, 2, 4),
+    backend: str = "reference",
 ) -> DifferentialCheck:
     """Baseline IPC must not increase as the RF read lengthens.
 
@@ -160,7 +168,8 @@ def check_rf_monotonicity(
             iq_ex=config.iq_ex + delta,
         )
         stats = _run(
-            workload, stretched, instructions, warmup, detailed_warmup, seed
+            workload, stretched, instructions, warmup, detailed_warmup, seed,
+            backend=backend,
         )
         ipcs.append((delta, stats.ipc))
     name = f"rf-monotonicity[{preset_name}]"
@@ -183,6 +192,7 @@ def check_stall_recovery(
     warmup: int = 20_000,
     detailed_warmup: int = 300,
     seed: int = 0,
+    backend: str = "reference",
 ) -> DifferentialCheck:
     """``LoadRecovery.STALL`` must produce zero reissues/misspeculations."""
     config = preset(preset_name)
@@ -190,7 +200,8 @@ def check_stall_recovery(
         config = replace(config, dra=None)
     config = replace(config, load_recovery=LoadRecovery.STALL)
     stats = _run(
-        workload, config, instructions, warmup, detailed_warmup, seed
+        workload, config, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
     )
     name = f"stall-recovery[{preset_name}]"
     if stats.total_reissues or stats.load_misspeculations:
@@ -213,6 +224,7 @@ def run_differential_checks(
     detailed_warmup: int = 300,
     seed: int = 0,
     presets: Optional[List[str]] = None,
+    backend: str = "reference",
 ) -> List[DifferentialCheck]:
     """The full differential matrix (what ``repro verify -d`` runs)."""
     names = list(presets) if presets is not None else list(MACHINE_PRESETS)
@@ -223,22 +235,26 @@ def run_differential_checks(
             warmup=warmup,
             detailed_warmup=detailed_warmup,
             seed=seed,
+            backend=backend,
         )
     ]
     for name in names:
         checks.append(
             check_infinite_crc(
-                name, workload, instructions, warmup, detailed_warmup, seed
+                name, workload, instructions, warmup, detailed_warmup, seed,
+                backend=backend,
             )
         )
         checks.append(
             check_rf_monotonicity(
-                name, workload, instructions, warmup, detailed_warmup, seed
+                name, workload, instructions, warmup, detailed_warmup, seed,
+                backend=backend,
             )
         )
         checks.append(
             check_stall_recovery(
-                name, workload, instructions, warmup, detailed_warmup, seed
+                name, workload, instructions, warmup, detailed_warmup, seed,
+                backend=backend,
             )
         )
     return checks

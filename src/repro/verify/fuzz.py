@@ -259,18 +259,26 @@ INJECTIONS: Dict[str, Callable] = {
 
 
 def run_case(
-    case: FuzzCase, inject: Optional[str] = None
+    case: FuzzCase,
+    inject: Optional[str] = None,
+    backend: str = "reference",
 ) -> Optional[FuzzFailure]:
     """Run one case under the full verifier; ``None`` means it passed."""
-    from repro.core.pipeline import Simulator
+    from repro.core.backend import parse_backend
 
+    kernel = parse_backend(backend)
+    if not kernel.exact:
+        raise ReproError(
+            f"fuzz cases verify retire streams and need an exact kernel "
+            f"backend (got {kernel.token!r})"
+        )
     try:
         config = case.build_config()
         entry = case.build_entry()
     except (ValueError, KeyError) as error:
         # an invalid case is a generator bug, not a simulator bug
         raise ReproError(f"unbuildable fuzz case: {error}") from error
-    simulator = Simulator(config, [entry], seed=case.seed)
+    simulator = kernel.build(config, [entry], seed=case.seed)
     bus = EventBus()
     verifier = Verifier()
     verifier.attach(simulator, bus)

@@ -15,6 +15,7 @@ import os
 
 import pytest
 
+from repro.core.backend import available_backends, get_backend
 from repro.core.config import CoreConfig
 from repro.core.simulator import simulate
 
@@ -25,6 +26,12 @@ GOLDEN_PATH = os.path.join(
 with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
     GOLDEN = json.load(_handle)
 
+#: Every exact backend must reproduce the pins bit for bit; inexact
+#: backends (sampled) are held to their error bounds elsewhere.
+EXACT_BACKENDS = [
+    name for name in available_backends() if get_backend(name).exact
+]
+
 
 def _config_for(label: str) -> CoreConfig:
     kind, rf = label.rsplit("_rf", 1)
@@ -33,8 +40,9 @@ def _config_for(label: str) -> CoreConfig:
     return CoreConfig.base(int(rf))
 
 
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
 @pytest.mark.parametrize("label", sorted(GOLDEN["cells"]))
-def test_golden_cell(label):
+def test_golden_cell(label, backend):
     expected = GOLDEN["cells"][label]
     run = GOLDEN["run"]
     config = _config_for(label)
@@ -49,6 +57,7 @@ def test_golden_cell(label):
         warmup=run["warmup"],
         detailed_warmup=run["detailed_warmup"],
         seed=run["seed"],
+        backend=backend,
     ).stats
     got = {
         "pipe": config.label,
@@ -57,9 +66,9 @@ def test_golden_cell(label):
         "total_reissues": stats.total_reissues,
     }
     assert got == expected, (
-        f"{label}: timing diverged from the golden pin; if the change "
-        f"is intentional run scripts/update_golden.py and review the "
-        f"diff"
+        f"{label} [{backend}]: timing diverged from the golden pin; if "
+        f"the change is intentional run scripts/update_golden.py and "
+        f"review the diff (pins regenerate from reference only)"
     )
 
 
@@ -71,8 +80,9 @@ def test_golden_file_covers_both_machines():
         assert f"dra_rf{rf}" in labels
 
 
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
 @pytest.mark.parametrize("label", sorted(GOLDEN["scenario_cells"]))
-def test_scenario_golden_cell(label):
+def test_scenario_golden_cell(label, backend):
     """Scenario-family workloads pin exactly, like the core cells.
 
     Each cell embeds its own run geometry so families with different
@@ -92,6 +102,7 @@ def test_scenario_golden_cell(label):
         warmup=run["warmup"],
         detailed_warmup=run["detailed_warmup"],
         seed=run["seed"],
+        backend=backend,
     ).stats
     got = {
         "cycles": stats.cycles,
@@ -101,9 +112,9 @@ def test_scenario_golden_cell(label):
     assert got == {
         key: expected[key] for key in got
     }, (
-        f"{label}: timing diverged from the golden pin; if the change "
-        f"is intentional run scripts/update_golden.py and review the "
-        f"diff"
+        f"{label} [{backend}]: timing diverged from the golden pin; if "
+        f"the change is intentional run scripts/update_golden.py and "
+        f"review the diff"
     )
 
 

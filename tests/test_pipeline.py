@@ -322,3 +322,99 @@ class TestDeadlockDiagnostics:
         assert snapshot.stage_occupancy["rob"] > 0
         assert snapshot.oldest_instruction is not None
         assert "uid=" in snapshot.oldest_instruction
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence property (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+class TestBackendEquivalenceProperty:
+    """Random (config, workload, seed) triples: the optimized backend
+    must reproduce the reference backend bit for bit — identical
+    ``CoreStats`` and retire streams — with both runs clean under the
+    differential :class:`~repro.verify.Verifier`."""
+
+    WORKLOADS = (
+        "int_test", "compress", "m88ksim", "swim",
+        "go+su2cor", "apsi+swim", "pointer_chase",
+    )
+
+    @staticmethod
+    def _stats_dict(stats):
+        from dataclasses import fields
+
+        out = {}
+        for f in fields(stats):
+            value = getattr(stats, f.name)
+            if f.name == "per_thread":
+                value = tuple(
+                    tuple((g.name, getattr(t, g.name)) for g in fields(t))
+                    for t in value
+                )
+            elif isinstance(value, dict):
+                value = tuple(
+                    sorted((str(k), v) for k, v in value.items())
+                )
+            elif isinstance(value, list):
+                value = tuple(value)
+            out[f.name] = value
+        return out
+
+    def _run_backend(self, backend, config, workload, seed):
+        from repro.core.backend import RetireStreamRecorder, get_backend
+        from repro.obs.bus import EventBus
+        from repro.verify import Verifier
+        from repro.workloads import workload_profiles as resolve
+
+        kernel = get_backend(backend)
+        sim = kernel.build(config, resolve(workload), seed=seed)
+        # same order as simulate(): warm up first — the verifier's
+        # oracle snapshots generator positions when it attaches
+        sim.functional_warmup(3000)
+        bus = EventBus()
+        verifier = Verifier()
+        verifier.attach(sim, bus)
+        recorder = RetireStreamRecorder()
+        recorder.install(sim)
+        sim.attach_obs(bus)
+        stats = kernel.run(sim, 1200, warmup=200)
+        verifier.finish(stats)
+        verifier.raise_if_failed(context=f"{backend}/{workload}")
+        return self._stats_dict(stats), recorder.stream
+
+    import hypothesis
+    import hypothesis.strategies as st
+
+    @hypothesis.given(
+        workload=st.sampled_from(WORKLOADS),
+        dra=st.booleans(),
+        rf=st.sampled_from((3, 5, 7)),
+        recovery=st.sampled_from(("reissue", "stall", "refetch")),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @hypothesis.settings(max_examples=6, deadline=None)
+    def test_reference_and_optimized_agree(
+        self, workload, dra, rf, recovery, seed
+    ):
+        config = (
+            CoreConfig.with_dra(rf) if dra else CoreConfig.base(rf)
+        )
+        config = config.replace(load_recovery=LoadRecovery(recovery))
+        ref_stats, ref_stream = self._run_backend(
+            "reference", config, workload, seed
+        )
+        opt_stats, opt_stream = self._run_backend(
+            "optimized", config, workload, seed
+        )
+        diverged = [
+            name for name in ref_stats if ref_stats[name] != opt_stats[name]
+        ]
+        assert not diverged, (
+            f"CoreStats diverged on {diverged} for {workload} "
+            f"{config.label} seed={seed}"
+        )
+        assert ref_stream == opt_stream, (
+            f"retire streams diverged for {workload} {config.label} "
+            f"seed={seed}"
+        )

@@ -432,18 +432,28 @@ class TestVerifiedRuns:
 # ---------------------------------------------------------------------------
 
 
+def _exact_backends():
+    from repro.core.backend import available_backends, get_backend
+
+    return [n for n in available_backends() if get_backend(n).exact]
+
+
 class TestDifferentialChecks:
-    def test_infinite_crc_dra_equals_base(self):
+    @pytest.mark.parametrize("backend", _exact_backends())
+    def test_infinite_crc_dra_equals_base(self, backend):
         check = check_dra_base_equivalence(
             instructions=1000, warmup=10_000, detailed_warmup=200,
+            backend=backend,
         )
-        assert check.passed, check.detail
+        assert check.passed, f"[{backend}] {check.detail}"
 
-    def test_stall_recovery_is_silent(self):
+    @pytest.mark.parametrize("backend", _exact_backends())
+    def test_stall_recovery_is_silent(self, backend):
         check = check_stall_recovery(
             "base", instructions=800, warmup=10_000, detailed_warmup=200,
+            backend=backend,
         )
-        assert check.passed, check.detail
+        assert check.passed, f"[{backend}] {check.detail}"
 
 
 # ---------------------------------------------------------------------------

@@ -57,6 +57,36 @@ class TestCaseGeneration:
         for case in canonical_cases(max_instructions=200):
             assert run_case(case) is None
 
+
+class TestBackendFuzzSmoke:
+    """Every registered exact backend survives the fuzzer's gauntlet."""
+
+    def _exact_backends(self):
+        from repro.core.backend import available_backends, get_backend
+
+        return [
+            n for n in available_backends() if get_backend(n).exact
+        ]
+
+    def test_canonical_cases_clean_on_every_exact_backend(self):
+        for backend in self._exact_backends():
+            for case in canonical_cases(max_instructions=150):
+                failure = run_case(case, backend=backend)
+                assert failure is None, (backend, case, failure)
+
+    def test_random_smoke_on_every_exact_backend(self):
+        rng = random.Random(777)
+        cases = [random_case(rng, max_instructions=50) for _ in range(6)]
+        for backend in self._exact_backends():
+            for case in cases:
+                failure = run_case(case, backend=backend)
+                assert failure is None, (backend, failure)
+
+    def test_inexact_backend_refused(self):
+        case = canonical_cases(max_instructions=60)[0]
+        with pytest.raises(ReproError):
+            run_case(case, backend="sampled")
+
     def test_case_dict_round_trip(self):
         case = random_case(random.Random(7))
         clone = FuzzCase.from_dict(
