@@ -183,6 +183,17 @@ def test_kernel_backend_throughput_matrix():
         "backends": rows,
         "speedup_floors": dict(SPEEDUP_FLOORS),
     }
+
+    # The committed file is also the perf-history importer's input
+    # (`loopsim perf record --kernel BENCH_kernel.json`); a payload the
+    # importer cannot profile must fail here, at the producer.
+    from repro.perfhist.profile import kernel_profiles
+
+    profiles = {p.key: p for p in kernel_profiles(payload)}
+    assert "kernel:optimized:speedup" in profiles
+    assert "kernel:sampled:speedup" in profiles
+    assert profiles["kernel:reference:inst_per_s"].detector == "track"
+
     with open(BENCH_KERNEL_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -25,23 +25,17 @@ from repro.core.backend import parse_backend  # noqa: E402
 from repro.core.config import CoreConfig  # noqa: E402
 from repro.core.simulator import simulate  # noqa: E402
 
+# The run geometry is owned by repro.perfhist.profile so the pins and
+# the committed performance history can never drift apart.
+from repro.perfhist.profile import (  # noqa: E402
+    GOLDEN_RUN as RUN,
+    golden_cells,
+)
+
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), os.pardir, "tests", "golden",
     "ipc_numbers.json",
 )
-
-#: The run geometry every golden cell uses.  Small on purpose: the
-#: point is exact-integer regression pinning, not statistics.
-RUN = {
-    "workload": "int_test",
-    "instructions": 2_000,
-    "warmup": 20_000,
-    "detailed_warmup": 400,
-    "seed": 0,
-}
-
-#: RF read latencies pinned per machine family (§6's 3/5/7 sweep).
-RF_LATENCIES = (3, 5, 7)
 
 #: Scenario-family pins.  Each embeds its full run geometry (unlike the
 #: core cells, which share RUN) so new families can pick their own.
@@ -62,12 +56,6 @@ def _scenario_config(run: dict) -> CoreConfig:
     if run["kind"] == "dra":
         return CoreConfig.with_dra(run["rf"])
     return CoreConfig.base(run["rf"])
-
-
-def golden_cells():
-    for rf in RF_LATENCIES:
-        yield f"base_rf{rf}", CoreConfig.base(rf)
-        yield f"dra_rf{rf}", CoreConfig.with_dra(rf)
 
 
 def collect() -> dict:

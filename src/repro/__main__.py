@@ -589,6 +589,110 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perfhist import (
+        PerfHistory, attribution_shift, check_epoch, commit_of,
+        import_explore_bench, import_kernel_bench, record_epoch,
+    )
+    from repro.perfhist.check import _bucket_shares
+
+    history = PerfHistory(args.history)
+
+    if args.action == "record":
+        commit = args.commit or commit_of()
+        epoch = record_epoch(
+            history, commit,
+            kernel_bench=args.kernel or None,
+            explore_bench=args.explore or None,
+            backend=args.backend,
+            include_sampled=not args.no_sampled,
+            log=print,
+        )
+        print(f"appended epoch {epoch.index} to {history.path}")
+        return 0
+
+    if args.action == "import":
+        if bool(args.kernel) == bool(args.explore):
+            print("error: perf import needs exactly one of "
+                  "--kernel/--explore", file=sys.stderr)
+            return 2
+        if not args.commit:
+            print("error: perf import needs --commit (the commit the "
+                  "benchmark file was recorded at)", file=sys.stderr)
+            return 2
+        if args.kernel:
+            epoch = import_kernel_bench(history, args.kernel, args.commit)
+        else:
+            epoch = import_explore_bench(history, args.explore, args.commit)
+        print(f"imported {epoch.source[len('import:'):]} as epoch "
+              f"{epoch.index} (commit {epoch.commit[:12]}, "
+              f"{len(epoch.profiles)} profiles)")
+        return 0
+
+    if args.action == "log":
+        epochs = history.epochs()
+        if not epochs:
+            print(f"{history.path}: empty history")
+            return 0
+        if args.key:
+            for index, value in history.series(args.key):
+                epoch = epochs[index]
+                print(f"epoch {index:3d}  {epoch.commit[:12]}  "
+                      f"{value:12.4f}  {epoch.timestamp}")
+            return 0
+        for epoch in epochs:
+            print(f"epoch {epoch.index:3d}  {epoch.commit[:12]}  "
+                  f"{epoch.timestamp}  {epoch.source:24s} "
+                  f"{len(epoch.profiles):3d} profiles")
+        return 0
+
+    if args.action == "check":
+        report = check_epoch(
+            history,
+            epoch=args.epoch,
+            baseline=args.baseline,
+        )
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+
+    # attribute: loop-bucket cycle accounting for an epoch's IPC
+    # profiles, plus the shift against each profile's baseline.
+    target = history.epoch(args.epoch if args.epoch is not None else -1)
+    shown = 0
+    for profile in target.profiles:
+        if args.key and profile.key != args.key:
+            continue
+        shares = _bucket_shares(profile.attribution or {})
+        if not shares:
+            continue
+        shown += 1
+        print(f"{profile.key} (epoch {target.index}, "
+              f"{profile.value:.4f} {profile.unit}):")
+        for name in sorted(shares, key=shares.get, reverse=True):
+            print(f"  {name:22s} {shares[name]:6.2f}% of cycles")
+        previous = None
+        for earlier in history.epochs():
+            if earlier.index >= target.index:
+                continue
+            if earlier.profile(profile.key) is not None:
+                previous = earlier
+        if previous is not None:
+            line = attribution_shift(
+                previous.profile(profile.key), profile
+            )
+            print(f"  vs epoch {previous.index}: {line}")
+    if not shown:
+        print("no attributed profiles "
+              + (f"matching {args.key!r} " if args.key else "")
+              + f"in epoch {target.index}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="loopsim",
@@ -977,6 +1081,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="with `capture`: which thread of an SMT pair to record",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help="per-commit performance history: record this commit's "
+             "profile, inspect the trajectory, gate on statistical "
+             "degradation detection (see docs/perfhist.md)",
+    )
+    perf_parser.add_argument(
+        "action", choices=("record", "log", "check", "attribute", "import"),
+        help="record: measure + append this commit's epoch; log: list "
+             "epochs (or one key's series); check: judge an epoch "
+             "against the history (exit 1 on degradation); attribute: "
+             "loop-bucket cycle accounting; import: fold a committed "
+             "BENCH_* file in as its own epoch",
+    )
+    perf_parser.add_argument(
+        "--history", default="PERF_HISTORY.jsonl", metavar="PATH",
+        help="history file (default: ./PERF_HISTORY.jsonl)",
+    )
+    perf_parser.add_argument(
+        "--commit", default="",
+        help="commit hash to stamp (default: `git rev-parse HEAD`)",
+    )
+    perf_parser.add_argument(
+        "--kernel", default="", metavar="PATH",
+        help="BENCH_kernel.json to fold into the epoch",
+    )
+    perf_parser.add_argument(
+        "--explore", default="", metavar="PATH",
+        help="BENCH_explore.json to fold into the epoch",
+    )
+    perf_parser.add_argument(
+        "--backend", default="reference", metavar="SPEC",
+        help="kernel backend for the live IPC cells (record)",
+    )
+    perf_parser.add_argument(
+        "--no-sampled", action="store_true",
+        help="skip the sampled-backend CI cell (record)",
+    )
+    perf_parser.add_argument(
+        "--epoch", type=int, default=None, metavar="N",
+        help="epoch to check/attribute (default: latest; negatives ok)",
+    )
+    perf_parser.add_argument(
+        "--baseline", type=int, default=None, metavar="N",
+        help="pin every comparison to epoch N (default: per-key most "
+             "recent earlier carrier)",
+    )
+    perf_parser.add_argument(
+        "--key", default="",
+        help="restrict log/attribute to one profile key",
+    )
+    perf_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable check report",
+    )
+    perf_parser.set_defaults(func=_cmd_perf)
 
     return parser
 

@@ -273,10 +273,15 @@ def run_exploration(
     if store_dir is not None:
         store = ExplorationStore(store_dir)
         previous = store.latest(space.signature())
+        # Per-label history *before* this run is appended — the
+        # statistical detector's calibration series.
+        series = store.frontier_series(space.signature())
         record = result.ledger_record()
         result.ledger_version = store.append(record)
         if previous is not None:
-            result.ledger_diff = diff_frontiers(previous, record)
+            result.ledger_diff = diff_frontiers(
+                previous, record, series=series
+            )
 
     if bench_out is not None:
         path = Path(bench_out)

@@ -22,12 +22,16 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import ConfigError
+from repro.perfhist.detectors import Detector, Observation, get_detector
 
 #: Bump when the ledger record layout changes incompatibly.
 LEDGER_SCHEMA = 1
 
-#: Relative IPC drop (same label, same space) flagged as a regression.
-DEFAULT_TOLERANCE = 0.02
+#: Detector spec for frontier IPC points: statistical (self-calibrating
+#: to the series' own noise) once enough explorations exist, an explicit
+#: 2% relative band before that — the old fixed DEFAULT_TOLERANCE, now
+#: just the short-series fallback of the repro.perfhist detector layer.
+DEFAULT_DETECTOR = "best_model:0.02"
 
 
 @dataclass
@@ -39,8 +43,14 @@ class FrontierDiff:
     #: Labels the old frontier had and the new one dropped.
     dropped: List[str] = field(default_factory=list)
     #: label -> (old ipc, new ipc) for points whose IPC fell beyond
-    #: tolerance.
+    #: the detector's band.
     regressions: Dict[str, Any] = field(default_factory=dict)
+    #: label -> (old ipc, new ipc) for points whose IPC *rose* beyond
+    #: the band — progress is evidence too, and an "improvement" that
+    #: was not intended is often a bug with a flattering sign.
+    improvements: Dict[str, Any] = field(default_factory=dict)
+    #: label -> the detector's one-line audit trail for flagged points.
+    verdicts: Dict[str, str] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -57,6 +67,11 @@ class FrontierDiff:
                 f"REGRESSION {label}: ipc {old:.3f} -> {new:.3f} "
                 f"({(new - old) / old:+.1%})"
             )
+        for label, (old, new) in sorted(self.improvements.items()):
+            lines.append(
+                f"IMPROVEMENT {label}: ipc {old:.3f} -> {new:.3f} "
+                f"({(new - old) / old:+.1%})"
+            )
         if not lines:
             lines.append("frontier unchanged")
         return "\n".join(lines)
@@ -65,9 +80,22 @@ class FrontierDiff:
 def diff_frontiers(
     old: Dict[str, Any],
     new: Dict[str, Any],
-    tolerance: float = DEFAULT_TOLERANCE,
+    detector: Union[str, Detector, None] = None,
+    series: Optional[Dict[str, List[float]]] = None,
 ) -> FrontierDiff:
-    """Diff two ledger records' frontiers (regressions flag IPC drops)."""
+    """Diff two ledger records' frontiers through a degradation detector.
+
+    ``detector`` is a :mod:`repro.perfhist.detectors` spec or instance
+    (default :data:`DEFAULT_DETECTOR`); ``series`` optionally maps each
+    label to its historical IPC values up to and including ``old``
+    (oldest first, see :meth:`ExplorationStore.frontier_series`) so
+    statistical detectors can calibrate their band from the label's own
+    noise instead of a fixed tolerance.  Moves beyond the band are
+    recorded in both directions: drops as regressions, rises as
+    improvements.
+    """
+    if detector is None or isinstance(detector, str):
+        detector = get_detector(detector or DEFAULT_DETECTOR)
     old_points = {p["label"]: p for p in old.get("frontier", [])}
     new_points = {p["label"]: p for p in new.get("frontier", [])}
     diff = FrontierDiff(
@@ -77,8 +105,17 @@ def diff_frontiers(
     for label in sorted(set(old_points) & set(new_points)):
         old_ipc = old_points[label]["ipc"]
         new_ipc = new_points[label]["ipc"]
-        if old_ipc > 0 and (old_ipc - new_ipc) / old_ipc > tolerance:
+        verdict = detector.judge(
+            Observation(old_ipc),
+            Observation(new_ipc),
+            series=(series or {}).get(label, ()),
+        )
+        if verdict.degraded:
             diff.regressions[label] = (old_ipc, new_ipc)
+        elif verdict.improved:
+            diff.improvements[label] = (old_ipc, new_ipc)
+        if verdict.changed:
+            diff.verdicts[label] = verdict.describe()
     return diff
 
 
@@ -145,6 +182,23 @@ class ExplorationStore:
             ):
                 return record
         return None
+
+    def frontier_series(
+        self, space_signature: str
+    ) -> Dict[str, List[float]]:
+        """label -> historical frontier IPCs for one space, oldest first.
+
+        The calibration input for statistical frontier diffing: each
+        label's own trajectory across every recorded exploration of the
+        space (labels absent from a record contribute nothing for it).
+        """
+        series: Dict[str, List[float]] = {}
+        for record in self.history():
+            if record.get("space") != space_signature:
+                continue
+            for point in record.get("frontier", []):
+                series.setdefault(point["label"], []).append(point["ipc"])
+        return series
 
     def __len__(self) -> int:
         return len(self.history())

@@ -411,6 +411,7 @@ def run_cell(
                     "workload": cell.workload,
                     "config": cell.config.label,
                     "seed": cell.seed,
+                    "backend": getattr(result, "backend", "reference"),
                 },
             )
             _put_metrics_snapshot(cache, key, result)

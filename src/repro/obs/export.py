@@ -294,4 +294,17 @@ def result_snapshot(result) -> Dict[str, Any]:
     obs_snapshot = getattr(stats, "obs_snapshot", None)
     if obs_snapshot:
         snapshot["metrics"] = obs_snapshot
+    backend = getattr(result, "backend", "")
+    if backend and backend != "reference":
+        snapshot["backend"] = backend
+    sampling = getattr(result, "sampling", None)
+    if sampling is not None:
+        lo, hi = sampling.ci95
+        snapshot["sampling"] = {
+            "ipc_mean": sampling.ipc_mean,
+            "ci95": [lo, hi],
+            "tolerance": sampling.tolerance,
+            "windows": len(sampling.windows),
+            "detail_fraction": sampling.detail_fraction,
+        }
     return snapshot

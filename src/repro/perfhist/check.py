@@ -1,0 +1,275 @@
+"""Degradation checking: judge an epoch against the history.
+
+For every profile in the target epoch the checker finds the most
+recent earlier epoch carrying the same key (benchmark-import epochs
+hold disjoint key sets, so "the previous epoch" is the wrong baseline
+in general), resolves the profile's declared detector, and judges the
+new value against the baseline with the full prior series available
+for calibration.
+
+A flagged change is *attributed* before it is reported: the golden IPC
+profiles carry the :mod:`repro.obs` loop-attribution snapshot of the
+run that produced them, so the checker diffs per-bucket cycle shares
+(useful, branch_resolution, load_resolution, operand_resolution,
+other) between the baseline and the new run and names the top mover.
+If no bucket moved, the simulated cycle accounting is unchanged and
+the delta must come from outside the model — host or backend side —
+which is itself the attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.perfhist.detectors import Verdict, get_detector
+from repro.perfhist.history import Epoch, PerfHistory, Profile
+
+__all__ = [
+    "Finding",
+    "CheckReport",
+    "attribution_shift",
+    "check_epoch",
+]
+
+#: A bucket-share move below this (percentage points of total cycles)
+#: is noise, not attribution.
+SHARE_EPSILON_PP = 0.05
+
+
+def _bucket_shares(attribution: Dict[str, Any]) -> Dict[str, float]:
+    """Per-bucket share of total cycles, in percent."""
+    total = attribution.get("total_cycles") or 0
+    if not total:
+        return {}
+    shares = {
+        "useful": 100.0 * attribution.get("useful_cycles", 0) / total
+    }
+    for loop in attribution.get("loops", []):
+        shares[loop["name"]] = 100.0 * loop.get("lost_cycles", 0) / total
+    return shares
+
+
+def attribution_shift(
+    baseline: Profile, new: Profile
+) -> str:
+    """Name the loop bucket a change lives in.
+
+    Returns a one-line human attribution: the top-moving cycle-share
+    bucket with its delta in percentage points, "cycle accounting
+    unchanged" when no bucket moved (the change is host/backend-side),
+    or "unattributed" when either side lacks an obs snapshot.
+    """
+    old_shares = _bucket_shares(baseline.attribution or {})
+    new_shares = _bucket_shares(new.attribution or {})
+    if not old_shares or not new_shares:
+        return "unattributed (no obs snapshot on both sides)"
+    deltas = {
+        name: new_shares.get(name, 0.0) - old_shares.get(name, 0.0)
+        for name in sorted(set(old_shares) | set(new_shares))
+    }
+    mover = max(deltas, key=lambda name: abs(deltas[name]))
+    delta = deltas[mover]
+    if abs(delta) < SHARE_EPSILON_PP:
+        return ("cycle accounting unchanged across loop buckets "
+                "(host/backend-side change)")
+    direction = "gained" if delta > 0 else "lost"
+    others = ", ".join(
+        f"{name} {deltas[name]:+.2f}pp"
+        for name in sorted(deltas, key=lambda n: abs(deltas[n]),
+                           reverse=True)[1:3]
+        if abs(deltas[name]) >= SHARE_EPSILON_PP
+    )
+    line = (f"bucket '{mover}' {direction} {abs(delta):.2f}pp of "
+            f"cycle share")
+    if others:
+        line += f" (next: {others})"
+    return line
+
+
+@dataclass
+class Finding:
+    """One profile's judgement, with attribution when it changed."""
+
+    key: str
+    kind: str
+    unit: str
+    verdict: Verdict
+    baseline_epoch: int
+    #: Loop-bucket attribution line (empty for stable profiles).
+    attribution: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return self.verdict.degraded
+
+    @property
+    def improved(self) -> bool:
+        return self.verdict.improved
+
+    def describe(self) -> str:
+        line = f"{self.key}: {self.verdict.describe()}"
+        if self.unit:
+            line += f" [{self.unit}]"
+        line += f" (baseline epoch {self.baseline_epoch})"
+        if self.attribution and self.verdict.changed:
+            line += f"\n    attribution: {self.attribution}"
+        return line
+
+
+@dataclass
+class CheckReport:
+    """Everything the check learned about one epoch."""
+
+    epoch_index: int
+    commit: str
+    findings: List[Finding] = field(default_factory=list)
+    #: Keys first seen in this epoch (informational, never a failure).
+    new_keys: List[str] = field(default_factory=list)
+    #: Keys the history carries but this epoch does not (informational;
+    #: benchmark-file profiles are only present when the file is fed in).
+    missing_keys: List[str] = field(default_factory=list)
+
+    @property
+    def degradations(self) -> List[Finding]:
+        return [f for f in self.findings if f.degraded]
+
+    @property
+    def improvements(self) -> List[Finding]:
+        return [f for f in self.findings if f.improved]
+
+    @property
+    def ok(self) -> bool:
+        """True when no profile degraded (improvements are fine)."""
+        return not self.degradations
+
+    def render(self) -> str:
+        lines = [
+            f"perf check: epoch {self.epoch_index} "
+            f"(commit {self.commit[:12]}) vs per-key baselines"
+        ]
+        for finding in self.findings:
+            if finding.verdict.changed:
+                lines.append("  " + finding.describe())
+        stable = sum(1 for f in self.findings if not f.verdict.changed)
+        lines.append(
+            f"  {len(self.findings)} profile(s) judged: "
+            f"{len(self.degradations)} degraded, "
+            f"{len(self.improvements)} improved, {stable} stable"
+        )
+        if self.new_keys:
+            lines.append(
+                f"  new keys (no baseline): {', '.join(self.new_keys)}"
+            )
+        if self.missing_keys:
+            lines.append(
+                "  keys not in this epoch (skipped): "
+                + ", ".join(self.missing_keys)
+            )
+        lines.append("  OK" if self.ok else "  DEGRADED")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch_index,
+            "commit": self.commit,
+            "ok": self.ok,
+            "findings": [
+                {
+                    "key": f.key,
+                    "kind": f.kind,
+                    "verdict": f.verdict.kind,
+                    "detector": f.verdict.detector,
+                    "baseline": f.verdict.baseline,
+                    "value": f.verdict.value,
+                    "threshold": f.verdict.threshold,
+                    "baseline_epoch": f.baseline_epoch,
+                    "attribution": f.attribution,
+                    "detail": f.verdict.detail,
+                }
+                for f in self.findings
+            ],
+            "new_keys": self.new_keys,
+            "missing_keys": self.missing_keys,
+        }
+
+
+def _baseline_for(
+    history: PerfHistory,
+    key: str,
+    target_index: int,
+    pinned: Optional[Epoch],
+) -> Optional[Epoch]:
+    """The epoch a key is judged against.
+
+    With ``pinned`` (an explicit ``--baseline``), that epoch or nothing.
+    Otherwise the most recent epoch before the target carrying the key.
+    """
+    if pinned is not None:
+        return pinned if pinned.profile(key) is not None else None
+    best: Optional[Epoch] = None
+    for epoch in history.epochs():
+        if epoch.index >= target_index:
+            continue
+        if epoch.profile(key) is not None:
+            best = epoch
+    return best
+
+
+def check_epoch(
+    history: PerfHistory,
+    epoch: Optional[int] = None,
+    baseline: Optional[int] = None,
+) -> CheckReport:
+    """Judge one epoch (default: the latest) against the history.
+
+    ``baseline`` pins every comparison to one epoch index; by default
+    each key is compared against its own most recent earlier carrier.
+    """
+    epochs = history.epochs()
+    if not epochs:
+        raise ConfigError(
+            f"{history.path}: empty history — record an epoch first"
+        )
+    target = history.epoch(epoch if epoch is not None else -1)
+    if target.index == 0 and baseline is None:
+        report = CheckReport(
+            epoch_index=target.index, commit=target.commit,
+            new_keys=target.keys(),
+        )
+        return report
+    pinned = history.epoch(baseline) if baseline is not None else None
+    report = CheckReport(epoch_index=target.index, commit=target.commit)
+    for profile in target.profiles:
+        base_epoch = _baseline_for(
+            history, profile.key, target.index, pinned
+        )
+        if base_epoch is None:
+            report.new_keys.append(profile.key)
+            continue
+        base_profile = base_epoch.profile(profile.key)
+        detector = get_detector(profile.detector)
+        series = [
+            value for index, value
+            in history.series(profile.key, before=target.index)
+            if pinned is None or index <= base_epoch.index
+        ]
+        verdict = detector.judge(
+            base_profile.as_observation(),
+            profile.as_observation(),
+            series=series,
+        )
+        report.findings.append(Finding(
+            key=profile.key,
+            kind=profile.kind,
+            unit=profile.unit,
+            verdict=verdict,
+            baseline_epoch=base_epoch.index,
+            attribution=attribution_shift(base_profile, profile),
+        ))
+    target_keys = set(target.keys())
+    report.missing_keys = [
+        key for key in history.keys() if key not in target_keys
+    ]
+    return report

@@ -1,0 +1,413 @@
+"""Pluggable degradation detectors: statistical tests, not magic numbers.
+
+A detector answers one question: *given where this metric has been, is
+the newest value a real change or noise?*  The contract is deliberately
+small so new detectors are cheap to add (see ``docs/perfhist.md``):
+
+* an :class:`Observation` wraps one measured value plus whatever
+  certainty the producer declared about it — exact integer state for
+  deterministic simulation cells, an absolute tolerance for sampled
+  runs with a :class:`~repro.core.backend.SamplingReport`;
+* :meth:`Detector.judge` maps (baseline, new, historical series) to a
+  :class:`Verdict` — ``degradation``, ``improvement`` or ``stable`` —
+  carrying the decision band it actually applied, so every flag is
+  auditable;
+* the registry (:func:`register_detector` / :func:`get_detector`)
+  resolves the detector *names* stored in history profiles, including
+  parameterised specs like ``band:0.05`` or ``best_model:0.1``.
+
+All metrics are higher-is-better (IPC, speedup); detectors for
+lower-is-better series should negate at the call site.
+
+Shipped detectors
+-----------------
+``exact``
+    For exact-integer simulation cells (golden-pin style): *any*
+    difference in the integer state is a confirmed change — the
+    simulator is deterministic, so there is no noise to test against.
+
+``ci``
+    For sampled runs: the declared confidence band (CI95 + systematic
+    slack from the :class:`~repro.core.backend.SamplingReport`) is the
+    decision band.  A change smaller than what the producer itself
+    claims to resolve is not a finding.
+
+``band``
+    Fixed relative band — the legacy 2% threshold, kept as the explicit
+    fallback for series too short to support a statistical test.
+
+``best_model``
+    Perun-style best-model test for noisy series (simulator throughput,
+    frontier IPC across explorations): fits constant and linear models
+    over the history, keeps the better one (SSE with a parameter
+    penalty), and flags the new value only when it falls outside
+    ``z`` residual standard deviations of the model's prediction.  The
+    band therefore *self-calibrates* to the series' own noise — a 5%
+    drop on a quiet series is a finding; the same 5% on a series that
+    routinely jitters 4% is not.  Short series degrade to ``band``.
+
+``track``
+    Never flags — for metrics worth recording but meaningless to gate
+    (raw host-dependent instructions/second alongside the gated,
+    host-normalised speedup ratio).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from math import sqrt
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Observation",
+    "Verdict",
+    "Detector",
+    "ExactIntegerDetector",
+    "CIBandDetector",
+    "RelativeBandDetector",
+    "BestModelDetector",
+    "TrackOnlyDetector",
+    "register_detector",
+    "get_detector",
+    "available_detectors",
+]
+
+#: Legacy fixed relative band, now only the short-series fallback.
+FALLBACK_REL_BAND = 0.02
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured value plus its declared certainty."""
+
+    #: Headline scalar (IPC, speedup ratio, ...); higher is better.
+    value: float
+    #: Exact integer state behind the value (e.g. ``(cycles, retired)``)
+    #: when the producer is deterministic; any difference is real.
+    exact: Optional[Tuple[int, ...]] = None
+    #: Declared absolute half-width (e.g. sampled CI95 + slack) when the
+    #: producer carries its own error model.
+    tolerance: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A detector's decision about one (baseline, new) pair."""
+
+    detector: str
+    #: "degradation" | "improvement" | "stable".
+    kind: str
+    baseline: float
+    value: float
+    #: Absolute half-width of the decision band actually applied (0 for
+    #: exact comparisons) — the audit trail for every flag.
+    threshold: float
+    detail: str = ""
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change against the baseline (0 when baseline is 0)."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.value - self.baseline) / self.baseline
+
+    @property
+    def degraded(self) -> bool:
+        return self.kind == "degradation"
+
+    @property
+    def improved(self) -> bool:
+        return self.kind == "improvement"
+
+    @property
+    def changed(self) -> bool:
+        return self.kind != "stable"
+
+    def describe(self) -> str:
+        """One audit line: what moved, by how much, against what band."""
+        return (
+            f"{self.kind.upper()} [{self.detector}] "
+            f"{self.baseline:.4f} -> {self.value:.4f} "
+            f"({self.rel_change:+.2%}, band +/-{self.threshold:.4f})"
+            + (f": {self.detail}" if self.detail else "")
+        )
+
+
+class Detector(ABC):
+    """The detector contract: judge one new observation against history."""
+
+    #: Registry name; parameterised instances append ``:<params>``.
+    name: str = "?"
+
+    @abstractmethod
+    def judge(
+        self,
+        baseline: Observation,
+        new: Observation,
+        series: Sequence[float] = (),
+    ) -> Verdict:
+        """Classify ``new`` against ``baseline``.
+
+        ``series`` is the metric's history *up to and including the
+        baseline*, oldest first; statistical detectors calibrate their
+        band from it and ignore it otherwise.
+        """
+
+    def _verdict(
+        self, kind: str, baseline: Observation, new: Observation,
+        threshold: float, detail: str = "",
+    ) -> Verdict:
+        return Verdict(
+            detector=self.name, kind=kind, baseline=baseline.value,
+            value=new.value, threshold=threshold, detail=detail,
+        )
+
+
+class ExactIntegerDetector(Detector):
+    """Deterministic cells: any exact-state difference is a confirmed
+    change.  Equal-value changes (cycle structure moved while the ratio
+    held) are still flagged as degradations — the whole point of exact
+    pins is that *silent* timing drift must surface for review."""
+
+    name = "exact"
+
+    def judge(self, baseline, new, series=()):
+        old_state = baseline.exact or (baseline.value,)
+        new_state = new.exact or (new.value,)
+        if old_state == new_state:
+            return self._verdict("stable", baseline, new, 0.0)
+        if new.value > baseline.value:
+            kind = "improvement"
+        else:
+            kind = "degradation"
+        detail = f"exact state {tuple(old_state)} -> {tuple(new_state)}"
+        if new.value == baseline.value:
+            detail += " (integer state changed at equal headline value)"
+        return self._verdict(kind, baseline, new, 0.0, detail)
+
+
+class CIBandDetector(Detector):
+    """Sampled runs: the producer's declared confidence band decides.
+
+    The band is the wider of the two observations' declared tolerances;
+    an observation with no tolerance contributes a relative fallback so
+    a sampled value can still be compared against an exact baseline.
+    """
+
+    name = "ci"
+
+    def __init__(self, fallback_rel: float = FALLBACK_REL_BAND):
+        if fallback_rel < 0:
+            raise ConfigError("fallback band cannot be negative")
+        self.fallback_rel = fallback_rel
+
+    def judge(self, baseline, new, series=()):
+        declared = [
+            obs.tolerance for obs in (baseline, new)
+            if obs.tolerance is not None
+        ]
+        if declared:
+            band = max(declared)
+            detail = "declared sampling tolerance"
+        else:
+            band = self.fallback_rel * abs(baseline.value)
+            detail = f"no declared tolerance; {self.fallback_rel:.0%} band"
+        delta = new.value - baseline.value
+        if abs(delta) <= band:
+            return self._verdict("stable", baseline, new, band, detail)
+        kind = "improvement" if delta > 0 else "degradation"
+        return self._verdict(kind, baseline, new, band, detail)
+
+
+class RelativeBandDetector(Detector):
+    """Fixed relative band — the explicit, documented fallback."""
+
+    name = "band"
+
+    def __init__(self, rel: float = FALLBACK_REL_BAND):
+        if rel < 0:
+            raise ConfigError("relative band cannot be negative")
+        self.rel = rel
+
+    @property
+    def spec(self) -> str:
+        return f"band:{self.rel:g}"
+
+    def judge(self, baseline, new, series=()):
+        band = self.rel * abs(baseline.value)
+        delta = new.value - baseline.value
+        if abs(delta) <= band:
+            return self._verdict("stable", baseline, new, band)
+        kind = "improvement" if delta > 0 else "degradation"
+        return self._verdict(
+            kind, baseline, new, band, f"fixed {self.rel:.0%} band"
+        )
+
+
+def _fit_constant(series: Sequence[float]) -> Tuple[float, float, int]:
+    """(prediction for the next point, SSE, parameter count)."""
+    mean = sum(series) / len(series)
+    sse = sum((y - mean) ** 2 for y in series)
+    return mean, sse, 1
+
+
+def _fit_linear(series: Sequence[float]) -> Tuple[float, float, int]:
+    """Least-squares line over (index, value); predicts the next index."""
+    n = len(series)
+    xs = range(n)
+    mean_x = (n - 1) / 2
+    mean_y = sum(series) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, series))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    sse = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, series)
+    )
+    return intercept + slope * n, sse, 2
+
+
+class BestModelDetector(Detector):
+    """Best-model regression test over the metric's own history.
+
+    Fits the candidate models, keeps the one with the lower penalised
+    SSE (each extra parameter must earn its keep by halving nothing —
+    the penalty multiplies SSE by ``n / (n - k)``, a small-sample
+    variance correction), and flags the new value only when its
+    residual against the model's one-step prediction exceeds
+    ``z * residual_std`` (with a small relative floor so a perfectly
+    quiet series does not hair-trigger on representation noise).
+
+    Series shorter than ``min_points`` cannot support a variance
+    estimate; they degrade to the fixed relative band ``fallback_rel``
+    against the baseline, and the verdict says so.
+    """
+
+    name = "best_model"
+
+    def __init__(
+        self,
+        fallback_rel: float = FALLBACK_REL_BAND,
+        z: float = 3.0,
+        min_points: int = 4,
+        floor_rel: float = 0.005,
+    ):
+        if z <= 0:
+            raise ConfigError("z must be positive")
+        if min_points < 2:
+            raise ConfigError("min_points must be >= 2")
+        self.z = z
+        self.min_points = min_points
+        self.floor_rel = floor_rel
+        self.fallback = RelativeBandDetector(fallback_rel)
+
+    @property
+    def spec(self) -> str:
+        return f"best_model:{self.fallback.rel:g}"
+
+    def judge(self, baseline, new, series=()):
+        series = list(series) if series else [baseline.value]
+        if len(series) < self.min_points:
+            verdict = self.fallback.judge(baseline, new)
+            return Verdict(
+                detector=self.name, kind=verdict.kind,
+                baseline=verdict.baseline, value=verdict.value,
+                threshold=verdict.threshold,
+                detail=(
+                    f"series too short for statistics ({len(series)} < "
+                    f"{self.min_points}); fixed {self.fallback.rel:.0%} band"
+                ),
+            )
+        fits = [_fit_constant(series), _fit_linear(series)]
+        n = len(series)
+        prediction, sse, k = min(
+            (f for f in fits if n > f[2]),
+            key=lambda f: f[1] * n / (n - f[2]),
+        )
+        model = "constant" if k == 1 else "linear"
+        residual_std = sqrt(sse / (n - k))
+        band = max(
+            self.z * residual_std, self.floor_rel * abs(prediction)
+        )
+        delta = new.value - prediction
+        detail = (
+            f"{model} model over {n} epochs predicts {prediction:.4f} "
+            f"(residual std {residual_std:.4f})"
+        )
+        if abs(delta) <= band:
+            return self._verdict("stable", baseline, new, band, detail)
+        kind = "improvement" if delta > 0 else "degradation"
+        return self._verdict(kind, baseline, new, band, detail)
+
+
+class TrackOnlyDetector(Detector):
+    """Records trajectories without ever gating on them."""
+
+    name = "track"
+
+    def judge(self, baseline, new, series=()):
+        return self._verdict(
+            "stable", baseline, new, float("inf"),
+            "tracked, never gated (host-dependent metric)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[..., Detector]] = {}
+
+
+def register_detector(
+    name: str, factory: Callable[..., Detector], replace: bool = False
+) -> None:
+    """Register ``factory`` (kwargs -> Detector) under ``name``."""
+    if not replace and name in _FACTORIES:
+        raise ConfigError(f"detector {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_detectors() -> Tuple[str, ...]:
+    """Registered detector names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def get_detector(spec: str) -> Detector:
+    """Resolve a detector spec: a name, or ``name:<param>``.
+
+    The single optional parameter is the detector's headline knob: the
+    relative band for ``band``/``ci``, the short-series fallback band
+    for ``best_model``.
+    """
+    name, _, param = spec.partition(":")
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown detector {spec!r} "
+            f"(available: {', '.join(available_detectors())})"
+        ) from None
+    if not param:
+        return factory()
+    try:
+        return factory(float(param))
+    except (TypeError, ValueError) as error:
+        raise ConfigError(
+            f"bad detector spec {spec!r}: {error}"
+        ) from None
+
+
+register_detector("exact", lambda: ExactIntegerDetector())
+register_detector("ci", lambda rel=FALLBACK_REL_BAND: CIBandDetector(rel))
+register_detector(
+    "band", lambda rel=FALLBACK_REL_BAND: RelativeBandDetector(rel)
+)
+register_detector(
+    "best_model",
+    lambda rel=FALLBACK_REL_BAND: BestModelDetector(fallback_rel=rel),
+)
+register_detector("track", lambda: TrackOnlyDetector())

@@ -362,18 +362,49 @@ class TestStore:
     def test_diff_flags_changes_and_regressions(self):
         old = self._record([("a", 1.0), ("b", 0.9)])
         new = self._record([("a", 0.9), ("c", 1.1)])
-        diff = diff_frontiers(old, new, tolerance=0.02)
+        diff = diff_frontiers(old, new)
         assert diff.added == ["c"]
         assert diff.dropped == ["b"]
         assert "a" in diff.regressions
+        assert "a" in diff.verdicts
         assert not diff.clean
         assert "REGRESSION" in diff.describe()
+
+    def test_diff_reports_improvements(self):
+        old = self._record([("a", 1.0)])
+        new = self._record([("a", 1.1)])
+        diff = diff_frontiers(old, new)
+        assert diff.clean  # improvements never fail the diff
+        assert diff.improvements == {"a": (1.0, 1.1)}
+        assert "IMPROVEMENT" in diff.describe()
 
     def test_diff_tolerates_small_drift(self):
         old = self._record([("a", 1.000)])
         new = self._record([("a", 0.995)])
-        diff = diff_frontiers(old, new, tolerance=0.02)
+        diff = diff_frontiers(old, new)
         assert diff.clean
+        assert not diff.improvements
+
+    def test_diff_band_calibrates_from_series(self):
+        # A 1.5% drop hides inside the fixed 2% fallback band, but a
+        # quiet history gives the statistical detector a much tighter
+        # band — the same drop becomes a finding.
+        old = self._record([("a", 1.000)])
+        new = self._record([("a", 0.985)])
+        assert diff_frontiers(old, new).clean
+        quiet = {"a": [1.0001, 0.9999, 1.0002, 0.9998, 1.0]}
+        flagged = diff_frontiers(old, new, series=quiet)
+        assert "a" in flagged.regressions
+
+    def test_frontier_series_tracks_labels_per_space(self, tmp_path):
+        store = ExplorationStore(tmp_path)
+        store.append(self._record([("a", 1.0), ("b", 0.9)]))
+        store.append(self._record([("a", 1.1)]))
+        other = self._record([("a", 5.0)])
+        other["space"] = "other-space"
+        store.append(other)
+        series = store.frontier_series(self._record([])["space"])
+        assert series == {"a": [1.0, 1.1], "b": [0.9]}
 
 
 class TestEngine:

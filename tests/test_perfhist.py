@@ -1,0 +1,568 @@
+"""repro.perfhist: detectors, history store, planted degradations, CLI.
+
+The acceptance spine: a planted 5% kernel slowdown and a planted IPC
+regression must be flagged — each attributed to an obs loop bucket —
+while pure reruns of unchanged code must come back clean.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfhist import (
+    BestModelDetector,
+    Epoch,
+    Observation,
+    PerfHistory,
+    Profile,
+    attribution_shift,
+    available_detectors,
+    check_epoch,
+    frontier_profiles,
+    get_detector,
+    import_explore_bench,
+    import_kernel_bench,
+    ipc_profiles,
+    kernel_profiles,
+    record_epoch,
+    register_detector,
+    sampled_profile,
+)
+from repro.perfhist.check import _bucket_shares
+
+QUIET = [2.050, 2.051, 2.049, 2.050, 2.050]
+JITTERY = [2.05, 1.95, 2.10, 1.90, 2.00]
+
+
+def obs(value, exact=None, tolerance=None):
+    return Observation(value=value, exact=exact, tolerance=tolerance)
+
+
+def attr(useful, **buckets):
+    """A synthetic AttributionReport.to_dict() payload."""
+    total = useful + sum(buckets.values())
+    return {
+        "total_cycles": total,
+        "useful_cycles": useful,
+        "loops": [
+            {"name": name, "lost_cycles": lost}
+            for name, lost in buckets.items()
+        ],
+    }
+
+
+class TestDetectors:
+    def test_exact_identical_state_is_stable(self):
+        verdict = get_detector("exact").judge(
+            obs(1.12, exact=(2149, 2405, 6)),
+            obs(1.12, exact=(2149, 2405, 6)),
+        )
+        assert verdict.kind == "stable"
+        assert not verdict.changed
+
+    def test_exact_any_integer_change_is_flagged(self):
+        verdict = get_detector("exact").judge(
+            obs(1.12, exact=(2149, 2405, 6)),
+            obs(1.10, exact=(2190, 2405, 9)),
+        )
+        assert verdict.degraded
+        assert "2149" in verdict.detail
+
+    def test_exact_higher_value_is_improvement(self):
+        verdict = get_detector("exact").judge(
+            obs(1.10, exact=(2190, 2405, 9)),
+            obs(1.12, exact=(2149, 2405, 6)),
+        )
+        assert verdict.improved
+
+    def test_exact_silent_structure_change_still_surfaces(self):
+        # Same headline IPC, different cycle structure: must flag.
+        verdict = get_detector("exact").judge(
+            obs(1.0, exact=(2000, 2000, 4)),
+            obs(1.0, exact=(2000, 2000, 7)),
+        )
+        assert verdict.degraded
+        assert "equal headline value" in verdict.detail
+
+    def test_ci_band_uses_declared_tolerance(self):
+        detector = get_detector("ci")
+        inside = detector.judge(
+            obs(1.000, tolerance=0.04), obs(0.970, tolerance=0.04)
+        )
+        assert inside.kind == "stable"
+        outside = detector.judge(
+            obs(1.000, tolerance=0.04), obs(0.950, tolerance=0.04)
+        )
+        assert outside.degraded
+        assert outside.threshold == pytest.approx(0.04)
+
+    def test_ci_band_falls_back_without_tolerance(self):
+        verdict = get_detector("ci").judge(obs(1.0), obs(0.97))
+        assert verdict.degraded
+        assert "no declared tolerance" in verdict.detail
+
+    def test_band_is_relative(self):
+        detector = get_detector("band:0.05")
+        assert detector.judge(obs(2.0), obs(1.91)).kind == "stable"
+        assert detector.judge(obs(2.0), obs(1.89)).degraded
+        assert detector.judge(obs(2.0), obs(2.11)).improved
+
+    def test_band_zero_flags_any_drop(self):
+        # The ordering_ok predicate detector: 1.0 -> 0.0 must flag.
+        verdict = get_detector("band:0").judge(obs(1.0), obs(0.0))
+        assert verdict.degraded
+
+    def test_best_model_flags_5pct_drop_on_quiet_series(self):
+        verdict = BestModelDetector().judge(
+            obs(QUIET[-1]), obs(QUIET[-1] * 0.95), series=QUIET
+        )
+        assert verdict.degraded
+        assert "model over 5 epochs" in verdict.detail
+
+    def test_best_model_absorbs_5pct_drop_on_jittery_series(self):
+        # The same relative drop on a series that routinely jitters
+        # that much is noise, not a finding.
+        verdict = BestModelDetector().judge(
+            obs(JITTERY[-1]), obs(JITTERY[-1] * 0.95), series=JITTERY
+        )
+        assert verdict.kind == "stable"
+
+    def test_best_model_follows_a_linear_trend(self):
+        # A steadily improving series: the next on-trend value sits far
+        # above the constant model's mean but is *expected* — the
+        # linear model must win and call it stable.
+        trend = [1.0, 1.1, 1.2, 1.3, 1.4]
+        verdict = BestModelDetector().judge(
+            obs(1.4), obs(1.5), series=trend
+        )
+        assert verdict.kind == "stable"
+        assert "linear" in verdict.detail
+
+    def test_best_model_short_series_degrades_to_band(self):
+        verdict = BestModelDetector().judge(
+            obs(2.0), obs(1.8), series=[2.0, 2.0]
+        )
+        assert verdict.degraded
+        assert "too short" in verdict.detail
+
+    def test_track_never_gates(self):
+        verdict = get_detector("track").judge(obs(50_000.0), obs(5.0))
+        assert verdict.kind == "stable"
+        assert verdict.threshold == float("inf")
+
+    def test_registry_rejects_unknown_and_duplicate(self):
+        with pytest.raises(ConfigError):
+            get_detector("nope")
+        with pytest.raises(ConfigError):
+            register_detector("exact", lambda: None)
+        assert "best_model" in available_detectors()
+
+    def test_registry_bad_param_surfaces(self):
+        with pytest.raises(ConfigError):
+            get_detector("band:wide")
+
+
+class TestHistory:
+    def _epoch(self, commit="c0ffee", value=1.0, key="ipc:x:y", **kwargs):
+        return Epoch(
+            commit=commit,
+            profiles=[Profile(key=key, kind="ipc", value=value, **kwargs)],
+        )
+
+    def test_append_round_trip(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        epoch = self._epoch(
+            value=1.12,
+            exact=[2149, 2405, 6],
+            tolerance=None,
+            attribution=attr(500, load_resolution=300),
+            meta={"pipe": "base"},
+        )
+        history.append(epoch)
+        assert epoch.index == 0 and epoch.timestamp
+        read = history.latest()
+        profile = read.profile("ipc:x:y")
+        assert profile.exact == [2149, 2405, 6]
+        assert profile.attribution["total_cycles"] == 800
+        assert profile.meta == {"pipe": "base"}
+        assert read.source == "record"
+
+    def test_series_and_keys(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for value in (1.0, 1.1, 1.2):
+            history.append(self._epoch(value=value))
+        assert history.series("ipc:x:y") == [(0, 1.0), (1, 1.1), (2, 1.2)]
+        assert history.series("ipc:x:y", before=2) == [(0, 1.0), (1, 1.1)]
+        assert history.keys() == ["ipc:x:y"]
+        assert len(history) == 3
+        assert history.epoch(-1).profiles[0].value == 1.2
+
+    def test_corrupt_line_surfaces(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        history.append(self._epoch())
+        with open(history.path, "a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ConfigError):
+            history.epochs()
+
+    def test_unknown_schema_surfaces(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        payload = self._epoch().to_json()
+        payload["schema"] = 999
+        history.path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ConfigError):
+            history.epochs()
+
+    def test_newer_writer_fields_are_tolerated(self, tmp_path):
+        # Forward compatibility inside one schema: an older reader must
+        # survive a newer writer's optional extras.
+        history = PerfHistory(tmp_path / "h.jsonl")
+        payload = self._epoch().to_json()
+        payload["future_field"] = {"x": 1}
+        payload["profiles"][0]["future_knob"] = True
+        history.path.write_text(json.dumps(payload) + "\n")
+        assert history.latest().profile("ipc:x:y").value == 1.0
+
+    def test_out_of_range_epoch_surfaces(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        with pytest.raises(ConfigError):
+            history.epoch(0)
+
+
+class TestAttributionShift:
+    def test_names_the_top_moving_bucket(self):
+        old = Profile(key="k", kind="ipc", value=1.0,
+                      attribution=attr(500, load_resolution=300,
+                                       branch_resolution=200))
+        new = Profile(key="k", kind="ipc", value=0.9,
+                      attribution=attr(450, load_resolution=400,
+                                       branch_resolution=200))
+        line = attribution_shift(old, new)
+        assert "load_resolution" in line and "gained" in line
+        # Independent arithmetic: load went 30% -> 38.1% of cycles.
+        delta = 100 * 400 / 1050 - 100 * 300 / 1000
+        assert f"{abs(delta):.2f}pp" in line
+
+    def test_unchanged_accounting_points_off_model(self):
+        profile = Profile(key="k", kind="throughput", value=2.0,
+                          attribution=attr(500, load_resolution=300))
+        line = attribution_shift(profile, profile)
+        assert "host/backend-side" in line
+
+    def test_missing_snapshot_is_unattributed(self):
+        with_attr = Profile(key="k", kind="ipc", value=1.0,
+                            attribution=attr(500, other=100))
+        without = Profile(key="k", kind="ipc", value=1.0)
+        assert "unattributed" in attribution_shift(with_attr, without)
+
+    def test_bucket_shares_sum_to_total(self):
+        shares = _bucket_shares(attr(600, load_resolution=250, other=150))
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+
+class TestPlantedKernelSlowdown:
+    """Acceptance: a planted 5% kernel slowdown must be flagged and
+    attributed; reruns inside the series' own noise must not."""
+
+    KEY = "kernel:optimized:speedup"
+
+    def _history(self, tmp_path, speedups, attributions):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for value, attribution in zip(speedups, attributions):
+            history.append(Epoch(
+                commit=f"c{len(history):07d}",
+                profiles=[Profile(
+                    key=self.KEY, kind="throughput", value=value,
+                    unit="x", detector="best_model:0.04",
+                    attribution=attribution,
+                )],
+            ))
+        return history
+
+    def test_planted_slowdown_flagged_and_attributed(self, tmp_path):
+        baseline_attr = attr(
+            500, load_resolution=300, branch_resolution=150, other=50
+        )
+        # The planted epoch is 5% slower *and* its cycle accounting
+        # says why: load_resolution's share grew.
+        planted_attr = attr(
+            460, load_resolution=410, branch_resolution=150, other=50
+        )
+        history = self._history(
+            tmp_path,
+            QUIET + [QUIET[-1] * 0.95],
+            [baseline_attr] * len(QUIET) + [planted_attr],
+        )
+        report = check_epoch(history)
+        assert not report.ok
+        [finding] = report.degradations
+        assert finding.key == self.KEY
+        assert "load_resolution" in finding.attribution
+        assert "gained" in finding.attribution
+
+    def test_noise_only_rerun_is_clean(self, tmp_path):
+        snapshot = attr(500, load_resolution=300, other=200)
+        history = self._history(
+            tmp_path,
+            JITTERY + [JITTERY[-1] * 0.95],
+            [snapshot] * (len(JITTERY) + 1),
+        )
+        report = check_epoch(history)
+        assert report.ok
+        [finding] = report.findings
+        assert finding.verdict.kind == "stable"
+
+    def test_unchanged_buckets_blame_the_host_side(self, tmp_path):
+        # Speedup dropped but the simulated cycle accounting is
+        # bit-identical: the change cannot live in the model.
+        snapshot = attr(500, load_resolution=300)
+        history = self._history(
+            tmp_path,
+            QUIET + [QUIET[-1] * 0.95],
+            [snapshot] * (len(QUIET) + 1),
+        )
+        [finding] = check_epoch(history).degradations
+        assert "host/backend-side" in finding.attribution
+
+
+class TestPlantedIpcRegression:
+    """Acceptance: a planted IPC regression on a golden cell must be
+    flagged with loop-bucket attribution; a deterministic rerun of the
+    same cell must be exactly stable."""
+
+    @pytest.fixture(scope="class")
+    def cell_profiles(self):
+        from repro.core.config import CoreConfig
+        from repro.perfhist.profile import GOLDEN_RUN, _attributed_simulate
+
+        def measure(config):
+            result, attribution, metrics = _attributed_simulate(
+                GOLDEN_RUN["workload"], config,
+                instructions=GOLDEN_RUN["instructions"],
+                warmup=GOLDEN_RUN["warmup"],
+                detailed_warmup=GOLDEN_RUN["detailed_warmup"],
+                seed=GOLDEN_RUN["seed"],
+            )
+            stats = result.stats
+            return Profile(
+                key="ipc:int_test:base_rf3", kind="ipc",
+                value=stats.measured_ipc, unit="ipc", detector="exact",
+                exact=[stats.cycles, stats.retired, stats.total_reissues],
+                attribution=attribution, metrics=metrics,
+            )
+
+        return {
+            "baseline": measure(CoreConfig.base(3)),
+            "rerun": measure(CoreConfig.base(3)),
+            # A real, differently-timed machine (slower register file)
+            # masquerading under the same key: a genuine planted
+            # regression with genuinely shifted loop attribution.
+            "planted": measure(CoreConfig.base(7)),
+        }
+
+    def _history(self, tmp_path, *profiles):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for profile in profiles:
+            history.append(Epoch(
+                commit=f"c{len(history):07d}", profiles=[profile]
+            ))
+        return history
+
+    def test_planted_regression_flagged_and_attributed(
+        self, tmp_path, cell_profiles
+    ):
+        baseline = cell_profiles["baseline"]
+        planted = cell_profiles["planted"]
+        assert planted.value < baseline.value
+        history = self._history(tmp_path, baseline, planted)
+        report = check_epoch(history)
+        assert not report.ok
+        [finding] = report.degradations
+        assert finding.verdict.detector == "exact"
+        # The named bucket must be the true top mover by the raw
+        # snapshots' own arithmetic.
+        old_shares = _bucket_shares(baseline.attribution)
+        new_shares = _bucket_shares(planted.attribution)
+        expected = max(
+            set(old_shares) | set(new_shares),
+            key=lambda name: abs(
+                new_shares.get(name, 0.0) - old_shares.get(name, 0.0)
+            ),
+        )
+        assert f"'{expected}'" in finding.attribution
+
+    def test_deterministic_rerun_is_exactly_stable(
+        self, tmp_path, cell_profiles
+    ):
+        history = self._history(
+            tmp_path, cell_profiles["baseline"], cell_profiles["rerun"]
+        )
+        report = check_epoch(history)
+        assert report.ok
+        [finding] = report.findings
+        assert finding.verdict.kind == "stable"
+        assert finding.verdict.threshold == 0.0
+
+
+class TestProfileBuilders:
+    def test_ipc_profiles_match_golden_pins(self):
+        with open("tests/golden/ipc_numbers.json") as handle:
+            golden = json.load(handle)
+        profiles = {p.key: p for p in ipc_profiles()}
+        assert len(profiles) == 6
+        for label, cell in golden["cells"].items():
+            profile = profiles[f"ipc:int_test:{label}"]
+            assert profile.exact == [
+                cell["cycles"], cell["retired"], cell["total_reissues"]
+            ], f"{label} drifted from the golden pin"
+            attribution = profile.attribution
+            lost = sum(
+                loop["lost_cycles"] for loop in attribution["loops"]
+            )
+            assert attribution["useful_cycles"] + lost \
+                == attribution["total_cycles"]
+            assert profile.metrics  # obs snapshot rode along
+
+    def test_sampled_profile_carries_its_tolerance(self):
+        profile = sampled_profile()
+        assert profile.detector == "ci"
+        assert profile.tolerance > 0
+        lo, hi = profile.meta["ci95"]
+        assert lo <= profile.value <= hi
+
+    def test_kernel_profiles_from_committed_bench(self):
+        with open("BENCH_kernel.json") as handle:
+            bench = json.load(handle)
+        profiles = {p.key: p for p in kernel_profiles(bench)}
+        speedup = profiles["kernel:optimized:speedup"]
+        assert speedup.detector == "best_model:0.04"
+        assert speedup.value > 1.0
+        raw = profiles["kernel:reference:inst_per_s"]
+        assert raw.detector == "track"
+
+    def test_frontier_profiles_from_committed_bench(self):
+        with open("BENCH_explore.json") as handle:
+            bench = json.load(handle)
+        profiles = {p.key: p for p in frontier_profiles(bench)}
+        ordering = profiles["explore:dra:ordering_ok"]
+        assert ordering.value == 1.0
+        assert ordering.detector == "band:0"
+        scored = [p for p in profiles.values() if p.unit == "ipc"]
+        assert scored and all(p.detector == "best_model:0.02"
+                              for p in scored)
+
+    def test_builders_reject_wrong_files(self):
+        with pytest.raises(ConfigError):
+            kernel_profiles({"rungs": []}, source="x.json")
+        with pytest.raises(ConfigError):
+            frontier_profiles({"backends": {}}, source="x.json")
+
+
+class TestImportAndCheck:
+    def test_bench_migration_and_record(self, tmp_path):
+        history = PerfHistory(tmp_path / "PERF_HISTORY.jsonl")
+        first = import_explore_bench(
+            history, "BENCH_explore.json", "d2ab040"
+        )
+        second = import_kernel_bench(
+            history, "BENCH_kernel.json", "65ea279"
+        )
+        assert first.source == "import:BENCH_explore.json"
+        assert second.index == 1
+        # Epoch 0 has no history: everything is new, nothing degraded.
+        assert check_epoch(history, epoch=0).ok
+        epoch = record_epoch(
+            history, "feedc0de",
+            kernel_bench="BENCH_kernel.json",
+            explore_bench="BENCH_explore.json",
+        )
+        report = check_epoch(history)
+        assert report.ok
+        # Identical re-imported values judge stable against their own
+        # per-key baselines despite the disjoint import epochs between.
+        judged = {f.key for f in report.findings}
+        assert "kernel:optimized:speedup" in judged
+        assert "explore:dra:ordering_ok" in judged
+        # The live IPC cells are first-time keys here, not failures.
+        assert any(k.startswith("ipc:") for k in report.new_keys)
+        assert epoch.index == 2
+
+    def test_pinned_baseline(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for value in (1.0, 2.0, 2.0):
+            history.append(Epoch(commit="c", profiles=[Profile(
+                key="k", kind="throughput", value=value, detector="band"
+            )]))
+        assert check_epoch(history).ok
+        pinned = check_epoch(history, baseline=0)
+        assert pinned.findings[0].verdict.improved
+
+    def test_empty_history_surfaces(self, tmp_path):
+        with pytest.raises(ConfigError):
+            check_epoch(PerfHistory(tmp_path / "h.jsonl"))
+
+
+class TestCli:
+    def _main(self, *argv):
+        from repro.__main__ import main
+
+        return main(list(argv))
+
+    def test_import_log_check_round_trip(self, tmp_path, capsys):
+        history = str(tmp_path / "h.jsonl")
+        assert self._main(
+            "perf", "import", "--explore", "BENCH_explore.json",
+            "--commit", "d2ab040", "--history", history,
+        ) == 0
+        assert self._main(
+            "perf", "import", "--kernel", "BENCH_kernel.json",
+            "--commit", "65ea279", "--history", history,
+        ) == 0
+        assert self._main("perf", "log", "--history", history) == 0
+        out = capsys.readouterr().out
+        assert "import:BENCH_kernel.json" in out
+        assert self._main(
+            "perf", "check", "--history", history, "--json"
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_check_exits_nonzero_on_planted_slowdown(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for value in QUIET + [QUIET[-1] * 0.95]:
+            history.append(Epoch(commit="c", profiles=[Profile(
+                key="kernel:optimized:speedup", kind="throughput",
+                value=value, detector="best_model:0.04",
+            )]))
+        assert self._main(
+            "perf", "check", "--history", str(history.path)
+        ) == 1
+
+    def test_import_argument_validation(self, tmp_path):
+        history = str(tmp_path / "h.jsonl")
+        assert self._main("perf", "import", "--history", history) == 2
+        assert self._main(
+            "perf", "import", "--kernel", "BENCH_kernel.json",
+            "--history", history,
+        ) == 2
+
+    def test_missing_bench_file_surfaces(self, tmp_path):
+        assert self._main(
+            "perf", "import", "--kernel", str(tmp_path / "nope.json"),
+            "--commit", "c", "--history", str(tmp_path / "h.jsonl"),
+        ) == 2
+
+    def test_record_and_attribute(self, tmp_path, capsys):
+        history = str(tmp_path / "h.jsonl")
+        assert self._main(
+            "perf", "record", "--history", history,
+            "--commit", "feedc0de", "--no-sampled",
+        ) == 0
+        assert self._main(
+            "perf", "attribute", "--history", history,
+            "--key", "ipc:int_test:dra_rf3",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load_resolution" in out
+        assert "% of cycles" in out
