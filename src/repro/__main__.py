@@ -19,6 +19,7 @@ Subcommands::
     loopsim verify --fuzz --budget 60      fuzz random configs/workloads
     loopsim verify --replay case.json      re-run a fuzz reproducer
     loopsim explore                        search the DRA design space
+    loopsim explore --space mechanisms     DRA vs read ports vs SSR
     loopsim explore --space smoke ...      tiny CI-sized exploration
     loopsim serve --journal j.jsonl        run the campaign service
     loopsim serve --resume ...             ... replaying unfinished jobs
@@ -499,6 +500,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             if cache:
                 print(f"  {'cache.hits':40s} {cache['hits']}")
                 print(f"  {'cache.misses':40s} {cache['misses']}")
+                print(f"  {'cache.corrupt_swallowed':40s} "
+                      f"{cache.get('corrupt_swallowed', 0)}")
             return 0
         if args.status:
             reply = client.status()
@@ -606,6 +609,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             history, commit,
             kernel_bench=args.kernel or None,
             explore_bench=args.explore or None,
+            mechanisms_bench=args.mechanisms or None,
             backend=args.backend,
             include_sampled=not args.no_sampled,
             log=print,
@@ -710,7 +714,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--rf", type=int, default=3, choices=(3, 5, 7),
                             help="register-file read latency")
     run_parser.add_argument("--recovery", default="",
-                            choices=("", "reissue", "refetch", "stall"),
+                            choices=("", "reissue", "refetch", "stall",
+                                     "ssr"),
                             help="load-miss recovery policy")
     run_parser.add_argument("--instructions", type=int, default=10_000)
     run_parser.add_argument("--seed", type=int, default=0)
@@ -826,9 +831,10 @@ def build_parser() -> argparse.ArgumentParser:
              "result ledger",
     )
     explore_parser.add_argument(
-        "--space", default="dra", choices=("dra", "smoke"),
+        "--space", default="dra", choices=("dra", "mechanisms", "smoke"),
         help="named parameter space (default dra: rf x CRC size x "
-             "insertion policy with the base machines pinned)",
+             "insertion policy with the base machines pinned; "
+             "mechanisms: DRA vs read-port reduction vs SSR stall)",
     )
     explore_parser.add_argument(
         "--workloads", default="",
@@ -1111,6 +1117,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--explore", default="", metavar="PATH",
         help="BENCH_explore.json to fold into the epoch",
+    )
+    perf_parser.add_argument(
+        "--mechanisms", default="", metavar="PATH",
+        help="BENCH_mechanisms.json (competing-mechanisms frontier) to "
+             "fold into the epoch",
     )
     perf_parser.add_argument(
         "--backend", default="reference", metavar="SPEC",

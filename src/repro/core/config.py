@@ -42,11 +42,54 @@ class LoadRecovery(enum.Enum):
       everything after the load (easier hardware, far slower).
     * ``STALL`` — do not speculate: dependents wait until the load's
       outcome is known.
+    * ``SSR`` — selective stall (Su et al. 2019): dependents are held
+      at issue like ``STALL`` — they can never mis-speculate or
+      reissue — but the resolution is published ``ssr_threshold``
+      cycles before the conservative release point, so a held consumer
+      overlaps part of its IQ->EX traversal with the load's wakeup.
+      Threshold 0 is exactly the STALL machine, cycle for cycle.
     """
 
     REISSUE = "reissue"
     REFETCH = "refetch"
     STALL = "stall"
+    SSR = "ssr"
+
+
+#: Valid :class:`PortConfig` arbitration scheme names.
+PORT_ARBITRATIONS = ("oldest_first", "operand_share", "banked")
+
+
+@dataclass(frozen=True)
+class PortConfig:
+    """Register-file read-port arbitration (Los-style port reduction).
+
+    On the base machine every issuing instruction consumes read ports;
+    the scheme decides how a cycle's port budget is spent:
+
+    * ``oldest_first`` — each selected instruction pays one port per
+      source operand, oldest cluster first (the historical behaviour).
+    * ``operand_share`` — same-cycle consumers of one physical register
+      share a single read: a port is charged only for pregs not already
+      read this cycle (the value is broadcast on the operand network).
+    * ``banked`` — the register file is split into ``banks`` banks
+      (``preg % banks``), each with ``rf_read_ports / banks`` ports; an
+      instruction stalls when any of its operands' banks is exhausted,
+      modelling a split-port file without a full crossbar.
+    """
+
+    arbitration: str = "oldest_first"
+    #: Bank count for the ``banked`` scheme (ignored otherwise).
+    banks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arbitration not in PORT_ARBITRATIONS:
+            raise ValueError(
+                f"unknown port arbitration: {self.arbitration!r} "
+                f"(known: {', '.join(PORT_ARBITRATIONS)})"
+            )
+        if self.banks < 1:
+            raise ValueError("need at least one register file bank")
 
 
 @dataclass(frozen=True)
@@ -140,6 +183,9 @@ class CoreConfig:
     #: able to read their operands".  Ignored under the DRA, whose
     #: issue path reads the forwarding buffer and CRCs instead.
     rf_read_ports: int = 16
+    #: How the read ports are arbitrated/shared among issuing
+    #: instructions (base machine only; the DRA ignores ports).
+    ports: PortConfig = field(default_factory=PortConfig)
 
     # --- loop feedback delays ------------------------------------------------
     iq_feedback_delay: int = 3    # execute -> IQ notification (load loop)
@@ -154,6 +200,10 @@ class CoreConfig:
 
     # --- policies -----------------------------------------------------------
     load_recovery: LoadRecovery = LoadRecovery.REISSUE
+    #: ``LoadRecovery.SSR`` only: how many cycles before the STALL
+    #: machine's conservative release point held dependents may begin
+    #: to issue (floored at the IQ notification delay).  0 ≡ STALL.
+    ssr_threshold: int = 4
     #: Cluster slotting at decode: "dependence" sends an instruction to
     #: the cluster of its first in-flight producer (minimising operand
     #: transport, concentrating dependence trees the way the paper's
@@ -191,6 +241,15 @@ class CoreConfig:
             raise ValueError("load_fill_wake_lead cannot be negative")
         if self.rf_read_ports < 1:
             raise ValueError("need at least one register file read port")
+        if self.ssr_threshold < 0:
+            raise ValueError("ssr_threshold cannot be negative")
+        if self.ports.arbitration == "banked" \
+                and self.rf_read_ports % self.ports.banks != 0:
+            raise ValueError(
+                "banked port arbitration needs rf_read_ports divisible "
+                f"by the bank count ({self.rf_read_ports} % "
+                f"{self.ports.banks} != 0)"
+            )
         if self.slotting not in ("dependence", "round_robin"):
             raise ValueError(f"unknown slotting policy: {self.slotting!r}")
         if self.fetch_policy not in ("icount", "round_robin"):

@@ -133,13 +133,26 @@ class IssueQueue:
         """Pick up to one ready instruction per cluster (oldest first).
 
         On the base machine (no DRA) issue also consumes register-file
-        read ports — one per source operand; when the ports run out,
-        remaining clusters stall this cycle (§2.1).
+        read ports under the configured arbitration scheme
+        (:class:`~repro.core.config.PortConfig`): ``oldest_first``
+        charges one port per source operand, ``operand_share`` charges
+        one port per *distinct* physical register read this cycle, and
+        ``banked`` charges each operand against its register bank.
+        When the needed ports run out, the cluster stalls this cycle
+        (§2.1) and ``port_stalls`` records the lost opportunity.
         """
         issued: List[DynInst] = []
-        ports_left = (
-            self.config.rf_read_ports if self.config.dra is None else None
-        )
+        ports_left: Optional[int] = None
+        read_pregs = None
+        bank_left = None
+        if self.config.dra is None:
+            ports_left = self.config.rf_read_ports
+            arbitration = self.config.ports.arbitration
+            if arbitration == "operand_share":
+                read_pregs = set()
+            elif arbitration == "banked":
+                banks = self.config.ports.banks
+                bank_left = [self.config.rf_read_ports // banks] * banks
         for pool in self._unissued:
             chosen: Optional[DynInst] = None
             for inst in pool:
@@ -149,11 +162,34 @@ class IssueQueue:
             if chosen is None:
                 continue
             if ports_left is not None:
-                needed = len(chosen.src_pregs)
-                if needed > ports_left:
-                    self.port_stalls += 1
-                    continue
-                ports_left -= needed
+                if read_pregs is not None:
+                    new_pregs = []
+                    for preg in chosen.src_pregs:
+                        if preg not in read_pregs and preg not in new_pregs:
+                            new_pregs.append(preg)
+                    if len(new_pregs) > ports_left:
+                        self.port_stalls += 1
+                        continue
+                    ports_left -= len(new_pregs)
+                    read_pregs.update(new_pregs)
+                elif bank_left is not None:
+                    banks = len(bank_left)
+                    demand = [0] * banks
+                    for preg in chosen.src_pregs:
+                        demand[preg % banks] += 1
+                    if any(
+                        demand[b] > bank_left[b] for b in range(banks)
+                    ):
+                        self.port_stalls += 1
+                        continue
+                    for b in range(banks):
+                        bank_left[b] -= demand[b]
+                else:
+                    needed = len(chosen.src_pregs)
+                    if needed > ports_left:
+                        self.port_stalls += 1
+                        continue
+                    ports_left -= needed
             pool.remove(chosen)
             chosen.issue_cycle = cycle
             if chosen.first_issue_cycle < 0:

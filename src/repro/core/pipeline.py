@@ -363,6 +363,7 @@ class Simulator:
         self._run_events(cycle)
         self._retire(cycle)
         self._execute(cycle)
+        ports_before = self.iq.port_stalls
         self._issue(cycle)
         self._insert(cycle)
         self._rename(cycle)
@@ -380,6 +381,7 @@ class Simulator:
                 ),
                 iq_full=not self.iq.has_space(),
                 rob_full=self._inflight >= self.config.rob_entries,
+                port_stalls=self.iq.port_stalls - ports_before,
             ))
         self.cycle += 1
 
@@ -582,7 +584,9 @@ class Simulator:
                     cycle=cycle, uid=inst.uid, thread=inst.thread,
                     hit=self._load_as_predicted(inst),
                     speculated=(
-                        config.load_recovery is not LoadRecovery.STALL
+                        config.load_recovery not in (
+                            LoadRecovery.STALL, LoadRecovery.SSR
+                        )
                         and dst is not None
                     ),
                     latency=latency,
@@ -610,6 +614,15 @@ class Simulator:
             notify = cycle + config.iq_feedback_delay
             publish = max(notify, avail_time - config.load_fill_wake_lead)
             if config.load_recovery is LoadRecovery.STALL:
+                self._schedule(publish, ("spec", inst, dst, avail_time))
+            elif config.load_recovery is LoadRecovery.SSR:
+                # selective stall (SSR): dependents were held at issue,
+                # so this publication cannot mis-speculate — but it may
+                # be advanced up to ssr_threshold cycles ahead of the
+                # STALL machine's conservative release point, letting a
+                # dependent's IQ->EX traversal overlap the tail of the
+                # load's latency (readiness still gates on avail_time)
+                publish = max(notify, publish - config.ssr_threshold)
                 self._schedule(publish, ("spec", inst, dst, avail_time))
             elif not self._load_as_predicted(inst):
                 self.stats.load_misspeculations += 1
@@ -683,6 +696,11 @@ class Simulator:
     def _issue(self, cycle: int) -> None:
         config = self.config
         hit_latency = config.hierarchy.l1d.hit_latency
+        # STALL and SSR both hold dependents until the load resolves:
+        # neither publishes an optimistic wakeup at issue
+        speculate_loads = config.load_recovery not in (
+            LoadRecovery.STALL, LoadRecovery.SSR
+        )
         for inst in self.iq.select(cycle):
             self.stats.issues += 1
             if inst.issue_count == 1:
@@ -690,7 +708,7 @@ class Simulator:
             dst = inst.dst_preg
             if dst is not None:
                 if inst.is_load:
-                    if config.load_recovery is not LoadRecovery.STALL:
+                    if speculate_loads:
                         # optimistic: assume an L1 hit
                         self.regfile.spec_avail[dst] = (
                             cycle + config.iq_ex + inst.op.exec_latency + hit_latency
@@ -1132,26 +1150,31 @@ class Simulator:
         warmed = warmup == 0
         if warmed:
             self.stats.start_measurement()
-        while self.retired < target:
-            if max_cycles is not None and self.cycle >= max_cycles:
-                break
-            self.tick()
-            retired = self.retired
-            if not warmed and retired >= warmup:
-                self.stats.start_measurement()
-                warmed = True
-            if retired != last_retired:
-                last_retired = retired
-                last_progress_cycle = self.cycle
-            elif self.cycle - last_progress_cycle > _DEADLOCK_WINDOW:
-                snapshot = self._hang_snapshot(last_progress_cycle)
-                raise SimulationHangError(
-                    f"pipeline deadlock: no retire since cycle "
-                    f"{last_progress_cycle} (cycle={self.cycle}, "
-                    f"retired={retired}, iq={self.iq.count}, "
-                    f"inflight={self._inflight})",
-                    snapshot,
-                )
+        try:
+            while self.retired < target:
+                if max_cycles is not None and self.cycle >= max_cycles:
+                    break
+                self.tick()
+                retired = self.retired
+                if not warmed and retired >= warmup:
+                    self.stats.start_measurement()
+                    warmed = True
+                if retired != last_retired:
+                    last_retired = retired
+                    last_progress_cycle = self.cycle
+                elif self.cycle - last_progress_cycle > _DEADLOCK_WINDOW:
+                    snapshot = self._hang_snapshot(last_progress_cycle)
+                    raise SimulationHangError(
+                        f"pipeline deadlock: no retire since cycle "
+                        f"{last_progress_cycle} (cycle={self.cycle}, "
+                        f"retired={retired}, iq={self.iq.count}, "
+                        f"inflight={self._inflight})",
+                        snapshot,
+                    )
+        finally:
+            # assignment, not +=: stays correct across the sampled
+            # backend's repeated run() windows on one simulator
+            self.stats.port_stalls = self.iq.port_stalls
         return self.stats
 
     def _hang_snapshot(self, last_progress_cycle: int) -> HangSnapshot:

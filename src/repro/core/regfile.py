@@ -36,6 +36,8 @@ class PhysRegFile:
         self.avail: List[Optional[int]] = [None] * num_pregs
         self.writeback: List[Optional[int]] = [None] * num_pregs
         self._free: List[int] = list(range(num_pregs - 1, -1, -1))
+        #: membership mirror of ``_free`` — guards double/stray frees
+        self._is_free: List[bool] = [True] * num_pregs
 
     # --- allocation ----------------------------------------------------------
 
@@ -53,13 +55,27 @@ class PhysRegFile:
         if not self._free:
             raise RuntimeError("physical register file exhausted")
         preg = self._free.pop()
+        self._is_free[preg] = False
         self.spec_avail[preg] = None
         self.avail[preg] = None
         self.writeback[preg] = None
         return preg
 
     def free(self, preg: int) -> None:
-        """Return ``preg`` to the free list."""
+        """Return ``preg`` to the free list.
+
+        Raises on a double free or a free of a register that was never
+        allocated — either would silently corrupt the free list and let
+        two in-flight instructions share a physical register.
+        """
+        if preg < 0 or preg >= self.num_pregs:
+            raise RuntimeError(f"freed preg {preg} is out of range")
+        if self._is_free[preg]:
+            raise RuntimeError(
+                f"double free of physical register {preg} "
+                "(already on the free list)"
+            )
+        self._is_free[preg] = True
         self._free.append(preg)
 
     def make_ready(self, preg: int, cycle: int = 0) -> None:

@@ -91,6 +91,8 @@ class CoreStats:
     # --- occupancy / pressure ----------------------------------------------
     iq_occupancy_sum: int = 0
     iq_issued_waiting_sum: int = 0
+    #: issue opportunities lost to register-file read-port limits (§2.1)
+    port_stalls: int = 0
     iq_full_stall_cycles: int = 0
     rob_full_stall_cycles: int = 0
     frontend_dra_stall_cycles: int = 0
@@ -222,4 +224,5 @@ class CoreStats:
             "operand_miss_rate": self.operand_miss_rate,
             "avg_iq_occupancy": self.avg_iq_occupancy,
             "avg_iq_issued_waiting": self.avg_iq_issued_waiting,
+            "port_stalls": float(self.port_stalls),
         }

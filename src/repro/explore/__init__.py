@@ -55,6 +55,7 @@ from repro.explore.space import (
     discrete,
     dra_space,
     int_range,
+    mechanisms_space,
     named_space,
     smoke_space,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "dra_space",
     "hardware_cost",
     "int_range",
+    "mechanisms_space",
     "named_space",
     "pareto_frontier",
     "predict_ipc",

@@ -21,13 +21,20 @@ Dominance is the standard weak-dominance test: ``a`` dominates ``b``
 when it is no worse on every objective and strictly better on at least
 one.  Points with *identical* objective vectors tie and are all kept —
 the frontier is a set of designs, not a ranking.
+
+Spaces can declare a **stratification axis**
+(:attr:`~repro.explore.space.ParameterSpace.stratify_by`): dominance is
+then judged only between candidates sharing that axis value.  The
+mechanisms space stratifies by rf read latency — the latency is imposed
+by wire delay, so a short-pipe rf-3 machine must not shadow the designs
+competing under rf 5 or rf 7.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_heading, format_table
 from repro.core.config import CoreConfig
@@ -106,15 +113,26 @@ def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
     return a.objectives() != b.objectives()
 
 
-def pareto_frontier(points: Sequence[FrontierPoint]) -> List[FrontierPoint]:
+def pareto_frontier(
+    points: Sequence[FrontierPoint],
+    stratify: Optional[Callable[[FrontierPoint], Any]] = None,
+) -> List[FrontierPoint]:
     """The non-dominated subset, in deterministic label order.
 
     Exact objective-vector ties all survive; a single-axis space
-    degenerates to the usual argmax/argmin.
+    degenerates to the usual argmax/argmin.  With ``stratify``,
+    dominance is judged only between points with equal stratum keys.
     """
+    if stratify is None:
+        groups: List[Sequence[FrontierPoint]] = [points]
+    else:
+        by_key: Dict[Any, List[FrontierPoint]] = {}
+        for p in points:
+            by_key.setdefault(stratify(p), []).append(p)
+        groups = list(by_key.values())
     frontier = [
-        p for p in points
-        if not any(dominates(q, p) for q in points if q is not p)
+        p for group in groups for p in group
+        if not any(dominates(q, p) for q in group if q is not p)
     ]
     return sorted(frontier, key=lambda p: p.label)
 
@@ -170,8 +188,13 @@ class FrontierReport:
 
 def build_frontier(
     scored: Sequence[Tuple[Candidate, float]],
+    stratify_by: Optional[str] = None,
 ) -> FrontierReport:
-    """Frontier extraction over (candidate, measured ipc) pairs."""
+    """Frontier extraction over (candidate, measured ipc) pairs.
+
+    ``stratify_by`` names a candidate axis whose value partitions the
+    dominance comparison (see :func:`pareto_frontier`).
+    """
     points = [
         FrontierPoint(
             candidate=candidate,
@@ -180,7 +203,10 @@ def build_frontier(
         )
         for candidate, ipc in scored
     ]
-    frontier = pareto_frontier(points)
+    stratify = None
+    if stratify_by is not None:
+        stratify = lambda p: p.candidate.value(stratify_by)  # noqa: E731
+    frontier = pareto_frontier(points, stratify=stratify)
     keep = {id(p) for p in frontier}
     dominated = [p for p in points if id(p) not in keep]
     return FrontierReport(frontier=frontier, dominated=dominated)

@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import CoreConfig, DRAConfig
+from repro.core.config import CoreConfig, DRAConfig, LoadRecovery, PortConfig
 from repro.errors import ConfigError
 
 
@@ -100,17 +100,28 @@ class ParameterSpace:
         name: str = "space",
         group_of: Optional[Callable[[Dict[str, Any]], str]] = None,
         baselines: Sequence[Candidate] = (),
+        stratify_by: Optional[str] = None,
     ) -> None:
         if not axes:
             raise ConfigError("a parameter space needs at least one axis")
         names = [axis.name for axis in axes]
         if len(set(names)) != len(names):
             raise ConfigError(f"duplicate axis names: {names}")
+        if stratify_by is not None and stratify_by not in names:
+            raise ConfigError(
+                f"stratify_by axis {stratify_by!r} is not one of {names}"
+            )
         self.axes: Tuple[Axis, ...] = tuple(axes)
         self.build = build
         self.name = name
         self.group_of = group_of
         self.baselines: Tuple[Candidate, ...] = tuple(baselines)
+        #: When set, Pareto dominance is judged only between candidates
+        #: sharing this axis value — for axes that model an *imposed*
+        #: environment (e.g. wire-delay-driven rf latency) rather than a
+        #: design choice, so a short-pipe machine cannot shadow the
+        #: designs competing at a longer latency.
+        self.stratify_by = stratify_by
 
     @property
     def size(self) -> int:
@@ -126,6 +137,9 @@ class ParameterSpace:
             [self.name]
             + [f"{axis.name}={list(axis.values)!r}" for axis in self.axes]
             + [candidate.label for candidate in self.baselines]
+            # appended only when set so pre-existing spaces keep their
+            # ledger signatures
+            + ([f"stratify={self.stratify_by}"] if self.stratify_by else [])
         )
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
@@ -234,6 +248,109 @@ def dra_space(
     )
 
 
+#: Mechanism codes for the competing-mechanisms space.  Each code names
+#: one attack on the load-resolution loop: ``dra:N`` an N-entry-CRC DRA
+#: machine, ``ports:P[:share|:banked]`` a base machine reduced to P
+#: read ports under the named arbitration, ``ssr:T`` a base machine
+#: under selective-stall recovery with threshold T.
+MECHANISMS: Tuple[str, ...] = (
+    "dra:16",
+    "dra:8",
+    "ports:8",
+    "ports:8:share",
+    "ports:8:banked",
+    "ssr:2",
+    "ssr:6",
+)
+
+_PORT_ARBITRATION_CODES = {
+    "": "oldest_first",
+    "share": "operand_share",
+    "banked": "banked",
+}
+
+
+def _build_mechanism(rf: int, code: str) -> CoreConfig:
+    """A concrete machine for one (rf latency, mechanism code) point."""
+    kind, _, rest = code.partition(":")
+    if kind == "base":
+        return CoreConfig.base(rf)
+    if kind == "dra":
+        return CoreConfig.with_dra(
+            rf, dra=DRAConfig(crc_entries=int(rest))
+        )
+    if kind == "ports":
+        count, _, scheme = rest.partition(":")
+        try:
+            arbitration = _PORT_ARBITRATION_CODES[scheme]
+        except KeyError:
+            raise ConfigError(
+                f"unknown port scheme {scheme!r} in mechanism {code!r}"
+            ) from None
+        return CoreConfig.base(
+            rf,
+            rf_read_ports=int(count),
+            ports=PortConfig(arbitration=arbitration),
+        )
+    if kind == "ssr":
+        return CoreConfig.base(
+            rf,
+            load_recovery=LoadRecovery.SSR,
+            ssr_threshold=int(rest),
+        )
+    raise ConfigError(f"unknown mechanism code {code!r}")
+
+
+def _mechanism_base_candidate(rf: int) -> Candidate:
+    """The pinned full-port, REISSUE base machine at one rf latency."""
+    return Candidate(
+        assignment=(("rf", rf), ("mechanism", "base")),
+        config=CoreConfig.base(rf),
+        label=f"base,rf={rf}",
+        group=f"rf{rf}:base",
+        pinned=True,
+    )
+
+
+def mechanisms_space(
+    rf_latencies: Sequence[int] = DRA_RF_LATENCIES,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> ParameterSpace:
+    """The competing-mechanisms space: DRA vs port reduction vs SSR.
+
+    Axes: register-file read latency x mechanism code.  Every mechanism
+    attacks the same load-resolution loop with a different hardware
+    currency — CRC entries (DRA), register-file read ports (Los-style
+    reduction/sharing/banking), or nothing but held issue slots (SSR) —
+    so the Pareto frontier over
+    :class:`~repro.explore.pareto.HardwareCost` compares *mechanisms*,
+    not just knob settings of one.  Grouping is per (rf, mechanism
+    family), so successive halving carries each family's best design at
+    every rf to the final rung alongside the pinned base machines.
+    """
+
+    def build(values: Dict[str, Any]) -> CoreConfig:
+        return _build_mechanism(values["rf"], values["mechanism"])
+
+    def group_of(values: Dict[str, Any]) -> str:
+        family = values["mechanism"].split(":", 1)[0]
+        return f"rf{values['rf']}:{family}"
+
+    return ParameterSpace(
+        axes=[
+            discrete("rf", rf_latencies),
+            discrete("mechanism", mechanisms),
+        ],
+        build=build,
+        name="mechanisms",
+        group_of=group_of,
+        baselines=[_mechanism_base_candidate(rf) for rf in rf_latencies],
+        # rf latency is wire delay the designer suffers, not a knob:
+        # judge dominance only between machines facing the same latency
+        stratify_by="rf",
+    )
+
+
 def smoke_space() -> ParameterSpace:
     """A tiny 2-axis space for CI smoke runs (4 points + 1 baseline)."""
     space = dra_space(
@@ -248,6 +365,7 @@ def smoke_space() -> ParameterSpace:
 #: Named spaces the CLI can resolve.
 NAMED_SPACES: Dict[str, Callable[[], ParameterSpace]] = {
     "dra": dra_space,
+    "mechanisms": mechanisms_space,
     "smoke": smoke_space,
 }
 

@@ -38,7 +38,26 @@ from typing import Any, Dict, Optional, Union
 #: selection) and ``SimResult`` grew backend/sampling attributes — the
 #: settings repr feeding keys changed shape, and v3 payloads lack the
 #: new result fields.
-CACHE_VERSION = 4
+#: v5: ``CoreConfig`` grew ``ports`` / ``ssr_threshold`` (mechanism
+#: design space) and ``CoreStats`` grew ``port_stalls`` — the config
+#: repr feeding keys changed shape, and v4 payloads lack the new field.
+CACHE_VERSION = 5
+
+#: The exception set a corrupt or cross-version cache entry can raise
+#: while being read: I/O failures, truncated pickles (EOFError /
+#: UnpicklingError / ValueError / IndexError from the pickle VM), and
+#: payloads whose classes moved or vanished between versions
+#: (AttributeError / ImportError during unpickling).  Anything outside
+#: this set is a real bug and must propagate.
+_CORRUPT_ENTRY_ERRORS = (
+    OSError,
+    EOFError,
+    ValueError,
+    IndexError,
+    pickle.UnpicklingError,
+    AttributeError,
+    ImportError,
+)
 
 #: Environment variable consulted for a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -91,6 +110,8 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: corrupt entries swallowed as misses (cache.corrupt_swallowed)
+        self.corrupt_swallowed = 0
 
     def path(self, key: str) -> Path:
         """On-disk location of a cell's payload."""
@@ -139,11 +160,15 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except _CORRUPT_ENTRY_ERRORS:
             # Corrupt entry (truncated write, unpicklable across
             # versions, unreadable permissions, ...): treat as a miss;
             # drop it if we can prove it is still the file we read.
+            # The set is deliberately narrow — a KeyboardInterrupt or a
+            # genuine bug in a payload's __setstate__ must propagate,
+            # not be eaten as a cache miss.
             self.misses += 1
+            self.corrupt_swallowed += 1
             self._remove_corrupt(path, stat)
             return None
         if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:

@@ -16,13 +16,17 @@ to exactly one bucket —
   flight;
 * **operand_resolution** — no retire, and a DRA operand-miss recovery
   was in flight;
+* **port_pressure** — no retire, no pending replay, and some cluster
+  lost an issue opportunity to the register-file read-port limit;
 * **branch_resolution** — no retire, and some thread's fetch was
   blocked on an unresolved branch;
 * **other** — no retire and none of the above (front-end fill, memory
   latency the window failed to hide, drain effects).
 
-The data-loop buckets take precedence over the branch bucket because a
-pending replay is a *positively identified* mis-speculation recovery,
+The data-loop buckets take precedence over the port and branch buckets
+because a pending replay is a *positively identified* mis-speculation
+recovery; port pressure in turn takes precedence over the branch bucket
+because a lost issue slot is a positively observed structural stall,
 whereas a branch stall can overlap arbitrary other work; the priority is
 fixed and documented so totals are reproducible.  By construction::
 
@@ -63,6 +67,7 @@ from repro.obs.events import (
 BRANCH_LOOP = "branch_resolution"
 LOAD_LOOP = "load_resolution"
 OPERAND_LOOP = "operand_resolution"
+PORT_PRESSURE = "port_pressure"
 OTHER = "other"
 
 #: Reissue causes mapped to the loop whose recovery they are.
@@ -314,7 +319,7 @@ class LoopAttribution:
             loop.name: loop.loop_delay for loop in loops_for_config(config)
         }
         self._entries: Dict[str, AttributionEntry] = {}
-        for name in (BRANCH_LOOP, LOAD_LOOP, OPERAND_LOOP):
+        for name in (BRANCH_LOOP, LOAD_LOOP, OPERAND_LOOP, PORT_PRESSURE):
             self._entries[name] = AttributionEntry(
                 name=name, loop_delay=delays.get(name, 0)
             )
@@ -395,11 +400,17 @@ class LoopAttribution:
         retired_this_cycle = self._retired - self._retired_at_last_cycle
         self._retired_at_last_cycle = self._retired
         bucket: Optional[str] = None
+        if event.port_stalls > 0:
+            # lost issue slots are occurrences of the port bottleneck
+            # whether or not the cycle still retired something
+            self._entries[PORT_PRESSURE].occurrences += event.port_stalls
         if retired_this_cycle > 0:
             self.useful_cycles += 1
         elif self._pending:
             pending = self._pending.values()
             bucket = LOAD_LOOP if LOAD_LOOP in pending else OPERAND_LOOP
+        elif event.port_stalls > 0:
+            bucket = PORT_PRESSURE
         elif event.branch_stall:
             bucket = BRANCH_LOOP
         else:

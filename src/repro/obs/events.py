@@ -322,3 +322,6 @@ class CycleEvent(Event):
     iq_full: bool
     #: The in-flight window (ROB) is at capacity.
     rob_full: bool
+    #: Issue opportunities lost to register-file read-port limits this
+    #: cycle (defaults to 0 for emitters predating port accounting).
+    port_stalls: int = 0

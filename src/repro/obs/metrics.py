@@ -294,6 +294,8 @@ class MetricsCollector:
         self._stall_branch = reg.counter("obs.stall.branch_cycles")
         self._stall_iq = reg.counter("obs.stall.iq_full_cycles")
         self._stall_rob = reg.counter("obs.stall.rob_full_cycles")
+        self._stall_port = reg.counter("obs.stall.port_cycles")
+        self._port_events = reg.counter("obs.stall.port_events")
         self._lifetime = reg.histogram("obs.inst.lifetime_cycles")
         self._issues_per_inst = reg.histogram("obs.inst.issues")
         self._ipc_series = reg.timeseries("obs.ipc", ipc_series_capacity)
@@ -382,6 +384,9 @@ class MetricsCollector:
             self._stall_iq.inc()
         if event.rob_full:
             self._stall_rob.inc()
+        if event.port_stalls:
+            self._stall_port.inc()
+            self._port_events.inc(event.port_stalls)
         if self._cycles.value % self.IPC_WINDOW == 0:
             self._ipc_series.sample(
                 event.cycle, self._window_retired / self.IPC_WINDOW
@@ -426,6 +431,7 @@ class MetricsCollector:
         check("issues", self._issues.value, stats.issues)
         check("first issues", self._first_issues.value, stats.first_issues)
         check("squashed", self._squashed.value, stats.squashed_instructions)
+        check("port stalls", self._port_events.value, stats.port_stalls)
         reissues = sum(
             self.registry.counter(f"obs.reissue.{cause.value}").value
             for cause in type(next(iter(stats.reissues)))

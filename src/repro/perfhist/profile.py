@@ -78,12 +78,19 @@ FRONTIER_DETECTOR = "best_model:0.02"
 
 
 def golden_cells() -> Iterator[Tuple[str, Any]]:
-    """(label, CoreConfig) for every golden-pin cell."""
+    """(label, CoreConfig) for every golden-pin cell.
+
+    Three machine families per rf latency: the base machine, the DRA
+    machine, and a port-starved base machine (4 read ports under
+    oldest-first arbitration) so the read-port stall path stays pinned
+    cycle-exactly alongside the mechanisms it competes with.
+    """
     from repro.core.config import CoreConfig
 
     for rf in RF_LATENCIES:
         yield f"base_rf{rf}", CoreConfig.base(rf)
         yield f"dra_rf{rf}", CoreConfig.with_dra(rf)
+        yield f"base_p4_rf{rf}", CoreConfig.base(rf, rf_read_ports=4)
 
 
 def _trim_attribution(report) -> Dict[str, Any]:
@@ -268,7 +275,7 @@ def frontier_profiles(
         unit="bool",
         detector="band:0",
         meta={"source": source,
-              "claim": "best DRA >= base at every rf latency"},
+              "claim": "best non-base design >= base at every rf latency"},
     ))
     return profiles
 
@@ -314,6 +321,7 @@ def record_epoch(
     commit: str,
     kernel_bench: Optional[Union[str, Path]] = None,
     explore_bench: Optional[Union[str, Path]] = None,
+    mechanisms_bench: Optional[Union[str, Path]] = None,
     backend: str = "reference",
     include_sampled: bool = True,
     log=None,
@@ -331,7 +339,8 @@ def record_epoch(
             log(message)
 
     profiles: List[Profile] = []
-    say(f"measuring {2 * len(RF_LATENCIES)} golden IPC cells "
+    cell_count = sum(1 for _ in golden_cells())
+    say(f"measuring {cell_count} golden IPC cells "
         f"(backend {backend})...")
     profiles.extend(ipc_profiles(backend=backend))
     if include_sampled:
@@ -346,6 +355,12 @@ def record_epoch(
     if explore_bench is not None:
         path = Path(explore_bench)
         say(f"importing exploration frontier from {path}")
+        profiles.extend(
+            frontier_profiles(_load_json(path), source=path.name)
+        )
+    if mechanisms_bench is not None:
+        path = Path(mechanisms_bench)
+        say(f"importing competing-mechanisms frontier from {path}")
         profiles.extend(
             frontier_profiles(_load_json(path), source=path.name)
         )

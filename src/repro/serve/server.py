@@ -603,6 +603,7 @@ class CampaignServer:
         if self.cache is not None:
             reply["cache"] = {
                 "hits": self.cache.hits, "misses": self.cache.misses,
+                "corrupt_swallowed": self.cache.corrupt_swallowed,
             }
         return reply
 

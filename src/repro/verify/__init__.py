@@ -26,7 +26,9 @@ from repro.verify.differential import (
     DifferentialCheck,
     check_dra_base_equivalence,
     check_infinite_crc,
+    check_port_sufficiency,
     check_rf_monotonicity,
+    check_ssr_zero_threshold,
     check_stall_recovery,
     run_differential_checks,
 )
@@ -80,7 +82,9 @@ __all__ = [
     "run_differential_checks",
     "check_dra_base_equivalence",
     "check_infinite_crc",
+    "check_port_sufficiency",
     "check_rf_monotonicity",
+    "check_ssr_zero_threshold",
     "check_stall_recovery",
     "FuzzCase",
     "FuzzFailure",

@@ -19,6 +19,15 @@ timing-model bug even when every single-run invariant passes:
 * **stall-recovery silence** — under ``LoadRecovery.STALL`` nothing
   ever issues before its operands are known good, so the reissue
   counters and load misspeculation count must be exactly zero.
+* **SSR zero-threshold equivalence** — ``LoadRecovery.SSR`` with
+  ``ssr_threshold=0`` releases held dependents at exactly the STALL
+  machine's conservative point, so the two machines must be
+  *cycle-for-cycle identical* (and SSR, holding dependents at issue,
+  must itself never reissue).
+* **port sufficiency** — a base machine whose read ports cover the
+  peak per-cycle operand demand (issue_width x max sources) can never
+  port-stall, so it must be cycle-for-cycle identical to one with
+  arbitrarily many ports, with ``port_stalls == 0``.
 """
 
 from __future__ import annotations
@@ -217,6 +226,108 @@ def check_stall_recovery(
     )
 
 
+def check_ssr_zero_threshold(
+    workload: str = "int_test",
+    instructions: int = 1500,
+    warmup: int = 20_000,
+    detailed_warmup: int = 300,
+    seed: int = 0,
+    rf: int = 5,
+    backend: str = "reference",
+) -> DifferentialCheck:
+    """SSR with threshold 0 must equal the STALL machine exactly.
+
+    Threshold 0 means dependents are released at precisely the STALL
+    machine's conservative publication point, so every cycle of both
+    runs must agree — and SSR must be as silent as STALL (dependents
+    held at issue never mis-speculate).
+    """
+    stall_config = CoreConfig.base(rf, load_recovery=LoadRecovery.STALL)
+    ssr_config = CoreConfig.base(
+        rf, load_recovery=LoadRecovery.SSR, ssr_threshold=0
+    )
+    stall_stats = _run(
+        workload, stall_config, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
+    )
+    ssr_stats = _run(
+        workload, ssr_config, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
+    )
+    name = f"ssr-zero-threshold[rf{rf}]"
+    mismatches = []
+    for field_name in ("cycles", "retired", "issues"):
+        stall_value = getattr(stall_stats, field_name)
+        ssr_value = getattr(ssr_stats, field_name)
+        if stall_value != ssr_value:
+            mismatches.append(
+                f"{field_name} {stall_value} != {ssr_value}"
+            )
+    if ssr_stats.total_reissues or ssr_stats.load_misspeculations:
+        mismatches.append(
+            f"{ssr_stats.total_reissues} reissues, "
+            f"{ssr_stats.load_misspeculations} load misspeculations "
+            f"under SSR"
+        )
+    if mismatches:
+        return DifferentialCheck(name, False, "; ".join(mismatches))
+    return DifferentialCheck(
+        name,
+        True,
+        f"STALL == SSR(0) at {stall_stats.cycles} cycles / "
+        f"{stall_stats.retired} retired, SSR silent",
+    )
+
+
+def check_port_sufficiency(
+    workload: str = "int_test",
+    instructions: int = 1500,
+    warmup: int = 20_000,
+    detailed_warmup: int = 300,
+    seed: int = 0,
+    rf: int = 5,
+    backend: str = "reference",
+) -> DifferentialCheck:
+    """Ports >= peak operand demand must equal unlimited ports exactly.
+
+    Peak per-cycle demand is issue_width instructions x 2 sources; a
+    machine with that many read ports can never port-stall, so raising
+    the port count further cannot change a single cycle.
+    """
+    base = CoreConfig.base(rf)
+    peak_demand = 2 * base.issue_width
+    sufficient = replace(base, rf_read_ports=peak_demand)
+    unlimited = replace(base, rf_read_ports=16 * peak_demand)
+    sufficient_stats = _run(
+        workload, sufficient, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
+    )
+    unlimited_stats = _run(
+        workload, unlimited, instructions, warmup, detailed_warmup, seed,
+        backend=backend,
+    )
+    name = f"port-sufficiency[rf{rf}]"
+    mismatches = []
+    for field_name in ("cycles", "retired", "issues", "port_stalls"):
+        lhs = getattr(sufficient_stats, field_name)
+        rhs = getattr(unlimited_stats, field_name)
+        if lhs != rhs:
+            mismatches.append(f"{field_name} {lhs} != {rhs}")
+    if sufficient_stats.port_stalls:
+        mismatches.append(
+            f"{sufficient_stats.port_stalls} port stalls with "
+            f"{peak_demand} ports (peak demand {peak_demand})"
+        )
+    if mismatches:
+        return DifferentialCheck(name, False, "; ".join(mismatches))
+    return DifferentialCheck(
+        name,
+        True,
+        f"{peak_demand} ports == {16 * peak_demand} ports at "
+        f"{sufficient_stats.cycles} cycles, 0 port stalls",
+    )
+
+
 def run_differential_checks(
     workload: str = "int_test",
     instructions: int = 1500,
@@ -236,7 +347,15 @@ def run_differential_checks(
             detailed_warmup=detailed_warmup,
             seed=seed,
             backend=backend,
-        )
+        ),
+        check_ssr_zero_threshold(
+            workload, instructions, warmup, detailed_warmup, seed,
+            backend=backend,
+        ),
+        check_port_sufficiency(
+            workload, instructions, warmup, detailed_warmup, seed,
+            backend=backend,
+        ),
     ]
     for name in names:
         checks.append(

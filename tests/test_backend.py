@@ -23,7 +23,7 @@ from repro.core.backend import (
     parse_backend,
     register_backend,
 )
-from repro.core.config import CoreConfig
+from repro.core.config import CoreConfig, LoadRecovery, PortConfig
 from repro.core.pipeline import Simulator
 from repro.core.simulator import simulate
 from repro.errors import ConfigError
@@ -196,6 +196,28 @@ class TestBuildRun:
             streams[name] = (stats.cycles, stats.retired,
                             stats.total_reissues, recorder.stream)
         assert streams["reference"] == streams["optimized"]
+
+    @pytest.mark.parametrize("config", [
+        CoreConfig.base(5, rf_read_ports=4),
+        CoreConfig.base(5, rf_read_ports=4,
+                        ports=PortConfig(arbitration="operand_share")),
+        CoreConfig.base(5, rf_read_ports=4,
+                        ports=PortConfig(arbitration="banked", banks=2)),
+        CoreConfig.base(5, load_recovery=LoadRecovery.SSR, ssr_threshold=4),
+    ], ids=["ports-oldest", "ports-share", "ports-banked", "ssr"])
+    def test_mechanism_configs_agree_bit_for_bit(self, config):
+        """The new port/SSR paths keep the equivalence matrix green."""
+        results = {}
+        for name in ("reference", "optimized"):
+            stats = simulate(
+                "int_test", config, instructions=1200,
+                warmup=10_000, detailed_warmup=200, seed=0, backend=name,
+            ).stats
+            results[name] = (stats.cycles, stats.retired, stats.issues,
+                             stats.total_reissues, stats.port_stalls)
+        assert results["reference"] == results["optimized"]
+        if config.rf_read_ports == 4:
+            assert results["reference"][4] > 0  # ports actually contended
 
     def test_recorder_chains_existing_hook(self):
         seen = []

@@ -84,6 +84,29 @@ class TestValidation:
         assert LoadRecovery("reissue") is LoadRecovery.REISSUE
         assert LoadRecovery("refetch") is LoadRecovery.REFETCH
         assert LoadRecovery("stall") is LoadRecovery.STALL
+        assert LoadRecovery("ssr") is LoadRecovery.SSR
+
+    def test_port_config_validation(self):
+        from repro.core.config import PortConfig
+
+        assert PortConfig().arbitration == "oldest_first"
+        with pytest.raises(ValueError):
+            PortConfig(arbitration="psychic")
+        with pytest.raises(ValueError):
+            PortConfig(banks=0)
+
+    def test_banked_ports_must_divide_evenly(self):
+        from repro.core.config import PortConfig
+
+        CoreConfig.base(rf_read_ports=16,
+                        ports=PortConfig(arbitration="banked", banks=2))
+        with pytest.raises(ValueError):
+            CoreConfig.base(rf_read_ports=15,
+                            ports=PortConfig(arbitration="banked", banks=2))
+
+    def test_negative_ssr_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig.base(ssr_threshold=-1)
 
     def test_dra_config_defaults_match_paper(self):
         dra = DRAConfig()

@@ -22,6 +22,7 @@ from repro.explore import (
     dra_space,
     hardware_cost,
     int_range,
+    mechanisms_space,
     named_space,
     pareto_frontier,
     predict_ipc,
@@ -103,6 +104,124 @@ class TestSpace:
         assert candidate.value("rf") == 3
         with pytest.raises(KeyError):
             candidate.value("voltage")
+
+    def test_stratify_axis_must_exist(self):
+        with pytest.raises(ConfigError):
+            ParameterSpace(
+                axes=[discrete("a", (1,))],
+                build=lambda values: CoreConfig.base(),
+                stratify_by="b",
+            )
+
+
+class TestMechanismsSpace:
+    def test_registered_and_enumerable(self):
+        space = named_space("mechanisms")
+        assert space.name == "mechanisms"
+        assert space.stratify_by == "rf"
+        grid = space.grid()
+        labels = [c.label for c in grid]
+        assert len(labels) == len(set(labels))
+        # 3 rf latencies x 7 mechanism codes + 3 pinned base machines
+        assert len(grid) == 24
+        pinned = [c for c in grid if c.pinned]
+        assert [c.label for c in pinned] == [
+            "base,rf=3", "base,rf=5", "base,rf=7",
+        ]
+
+    def test_mechanism_codes_build_the_right_machines(self):
+        from repro.core.config import LoadRecovery
+
+        space = mechanisms_space()
+        by_label = {c.label: c.config for c in space.grid()}
+        dra = by_label["rf=5,mechanism=dra:8"]
+        assert dra.dra is not None and dra.dra.crc_entries == 8
+        ports = by_label["rf=5,mechanism=ports:8:share"]
+        assert ports.dra is None
+        assert ports.rf_read_ports == 8
+        assert ports.ports.arbitration == "operand_share"
+        banked = by_label["rf=7,mechanism=ports:8:banked"]
+        assert banked.ports.arbitration == "banked"
+        ssr = by_label["rf=3,mechanism=ssr:2"]
+        assert ssr.load_recovery is LoadRecovery.SSR
+        assert ssr.ssr_threshold == 2
+        base = by_label["base,rf=5"]
+        assert base == CoreConfig.base(5)
+
+    def test_groups_are_per_rf_and_family(self):
+        space = mechanisms_space()
+        groups = {c.label: c.group for c in space.grid()}
+        assert groups["rf=5,mechanism=ports:8"] == "rf5:ports"
+        assert groups["rf=5,mechanism=ports:8:banked"] == "rf5:ports"
+        assert groups["rf=5,mechanism=ssr:2"] == "rf5:ssr"
+        assert groups["base,rf=5"] == "rf5:base"
+
+    def test_unknown_mechanism_code_rejected(self):
+        from repro.explore.space import _build_mechanism
+
+        with pytest.raises(ConfigError):
+            _build_mechanism(5, "warp:9")
+        with pytest.raises(ConfigError):
+            _build_mechanism(5, "ports:8:holographic")
+
+    def test_stratified_frontier_keeps_per_rf_winners(self):
+        space = mechanisms_space()
+        by_label = {c.label: c for c in space.grid()}
+        # rf3's machine strictly beats rf5's in IPC and every cost axis;
+        # globally it would shadow rf5, stratified it must not
+        scored = [
+            (by_label["rf=3,mechanism=ports:8"], 1.2),
+            (by_label["rf=5,mechanism=ports:8"], 1.0),
+        ]
+        report = build_frontier(scored, stratify_by=space.stratify_by)
+        assert {p.label for p in report.frontier} == {
+            "rf=3,mechanism=ports:8", "rf=5,mechanism=ports:8",
+        }
+        unstratified = build_frontier(scored)
+        assert {p.label for p in unstratified.frontier} == {
+            "rf=3,mechanism=ports:8",
+        }
+
+    def test_hardware_cost_prices_each_mechanism_currency(self):
+        from repro.core.config import LoadRecovery, PortConfig
+
+        reduced = hardware_cost(CoreConfig.base(
+            5, rf_read_ports=8,
+            ports=PortConfig(arbitration="operand_share"),
+        ))
+        assert reduced.crc_entries_total == 0
+        assert reduced.rf_read_ports == 8
+        ssr = hardware_cost(CoreConfig.base(
+            5, load_recovery=LoadRecovery.SSR, ssr_threshold=4,
+        ))
+        # SSR buys nothing in hardware: it pays in held issue slots
+        assert ssr == hardware_cost(CoreConfig.base(5))
+
+    def test_tiny_mechanisms_exploration_has_non_dra_frontier(self):
+        space = mechanisms_space(
+            rf_latencies=(5, 7),
+            mechanisms=("dra:16", "ports:8", "ssr:6"),
+        )
+        result = run_exploration(
+            space,
+            workloads=("int_test",),
+            halving=HalvingSettings(
+                rungs=2, base_instructions=400, growth=3, warmup=8_000,
+                detailed_warmup=200, backend="optimized",
+            ),
+            harness=INLINE,
+            prune=False,
+        )
+        non_dra = [
+            p for p in result.frontier.frontier
+            if p.candidate.config.dra is None and not p.candidate.pinned
+            and p.candidate.value("rf") in (5, 7)
+        ]
+        assert non_dra, (
+            "stratified mechanisms frontier lost every non-DRA point "
+            "at rf 5/7"
+        )
+        assert result.ordering(), "base and non-base must reach the end"
 
 
 class TestPareto:

@@ -18,6 +18,7 @@ import pytest
 from repro.core.backend import available_backends, get_backend
 from repro.core.config import CoreConfig
 from repro.core.simulator import simulate
+from repro.perfhist.profile import golden_cells
 
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "golden", "ipc_numbers.json"
@@ -33,11 +34,14 @@ EXACT_BACKENDS = [
 ]
 
 
+#: label -> CoreConfig, owned by repro.perfhist.profile (the same
+#: geometry scripts/update_golden.py regenerates from) so the test and
+#: the updater can never disagree about what a label means.
+_CELL_CONFIGS = dict(golden_cells())
+
+
 def _config_for(label: str) -> CoreConfig:
-    kind, rf = label.rsplit("_rf", 1)
-    if kind == "dra":
-        return CoreConfig.with_dra(int(rf))
-    return CoreConfig.base(int(rf))
+    return _CELL_CONFIGS[label]
 
 
 @pytest.mark.parametrize("backend", EXACT_BACKENDS)
@@ -72,12 +76,17 @@ def test_golden_cell(label, backend):
     )
 
 
-def test_golden_file_covers_both_machines():
-    """The pin set always spans base and DRA at every RF latency."""
+def test_golden_file_covers_all_machine_families():
+    """Pins span base, DRA, and port-starved base at every RF latency."""
     labels = set(GOLDEN["cells"])
     for rf in (3, 5, 7):
         assert f"base_rf{rf}" in labels
         assert f"dra_rf{rf}" in labels
+        assert f"base_p4_rf{rf}" in labels
+    assert labels == set(_CELL_CONFIGS), (
+        "golden file cells drifted from repro.perfhist.profile."
+        "golden_cells(); rerun scripts/update_golden.py"
+    )
 
 
 @pytest.mark.parametrize("backend", EXACT_BACKENDS)

@@ -89,8 +89,42 @@ class TestResultCache:
         path = cache.path(key)
         path.parent.mkdir(parents=True)
         path.write_bytes(b"not a pickle")
+        assert cache.corrupt_swallowed == 0
         assert cache.get(key) is None
         assert not path.exists()
+        # the swallowed decode failure is counted, not silent
+        assert cache.corrupt_swallowed == 1
+
+    def test_version_mismatch_is_not_counted_corrupt(self, tmp_path):
+        # stale-version entries decode fine; only decode failures count
+        cache = ResultCache(tmp_path)
+        key = "ee" + "1" * 62
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"version": -1, "result": 42}))
+        assert cache.get(key) is None
+        assert cache.corrupt_swallowed == 0
+
+    def test_unexpected_error_in_load_propagates(self, tmp_path):
+        # the narrowed except must not swallow arbitrary exceptions:
+        # a KeyboardInterrupt-ish programming error escapes _load
+        cache = ResultCache(tmp_path)
+        key = "cf" + "0" * 62
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"whatever")
+        real_load = pickle.load
+
+        def boom(handle):
+            raise KeyboardInterrupt
+
+        pickle.load = boom
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                cache.get(key)
+        finally:
+            pickle.load = real_load
+        assert cache.corrupt_swallowed == 0
 
     def test_version_mismatch_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)

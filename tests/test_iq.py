@@ -186,6 +186,100 @@ class TestReadPorts:
         assert len(iq.select(cycle=0)) == 4
         assert iq.port_stalls == 0
 
+    def test_operand_share_dedupes_same_preg_consumers(self):
+        from repro.core.config import PortConfig
+
+        config = CoreConfig(
+            iq_entries=16, iq_ex=5, num_clusters=4, issue_width=4,
+            rf_read_ports=2,
+            ports=PortConfig(arbitration="operand_share"),
+        )
+        rf = PhysRegFile(config.num_pregs)
+        iq = IssueQueue(config, rf)
+        for preg in (1, 2):
+            rf.make_ready(preg, 0)
+        # four consumers of the same two pregs: oldest-first would admit
+        # one (2 ports / 2 operands), operand sharing admits all four on
+        # the same two broadcast reads
+        for cluster in range(4):
+            iq.insert(make_inst(cluster=cluster, src_pregs=[1, 2]), cycle=0)
+        assert len(iq.select(cycle=0)) == 4
+        assert iq.port_stalls == 0
+
+    def test_operand_share_still_charges_distinct_pregs(self):
+        from repro.core.config import PortConfig
+
+        config = CoreConfig(
+            iq_entries=16, iq_ex=5, num_clusters=4, issue_width=4,
+            rf_read_ports=2,
+            ports=PortConfig(arbitration="operand_share"),
+        )
+        rf = PhysRegFile(config.num_pregs)
+        iq = IssueQueue(config, rf)
+        for preg in (1, 2, 3, 4):
+            rf.make_ready(preg, 0)
+        # distinct operands per cluster: the second instruction's two
+        # new pregs exceed the remaining zero ports
+        iq.insert(make_inst(cluster=0, src_pregs=[1, 2]), cycle=0)
+        iq.insert(make_inst(cluster=1, src_pregs=[3, 4]), cycle=0)
+        assert len(iq.select(cycle=0)) == 1
+        assert iq.port_stalls == 1
+
+    def test_banked_ports_conflict_on_same_bank(self):
+        from repro.core.config import PortConfig
+
+        config = CoreConfig(
+            iq_entries=16, iq_ex=5, num_clusters=4, issue_width=4,
+            rf_read_ports=4,
+            ports=PortConfig(arbitration="banked", banks=2),
+        )
+        rf = PhysRegFile(config.num_pregs)
+        iq = IssueQueue(config, rf)
+        for preg in (2, 4, 6):
+            rf.make_ready(preg, 0)
+        # all operands land in bank 0 (even pregs, banks=2): 2 ports per
+        # bank serve the first instruction's two reads, then the next
+        # same-bank pair conflicts even though 2 total ports are idle
+        iq.insert(make_inst(cluster=0, src_pregs=[2, 4]), cycle=0)
+        iq.insert(make_inst(cluster=1, src_pregs=[4, 6]), cycle=0)
+        assert len(iq.select(cycle=0)) == 1
+        assert iq.port_stalls == 1
+
+    def test_banked_ports_spread_across_banks_issue(self):
+        from repro.core.config import PortConfig
+
+        config = CoreConfig(
+            iq_entries=16, iq_ex=5, num_clusters=4, issue_width=4,
+            rf_read_ports=4,
+            ports=PortConfig(arbitration="banked", banks=2),
+        )
+        rf = PhysRegFile(config.num_pregs)
+        iq = IssueQueue(config, rf)
+        for preg in (1, 2, 3, 4):
+            rf.make_ready(preg, 0)
+        # one even + one odd operand each: both instructions fit in the
+        # 2-ports-per-bank budget
+        iq.insert(make_inst(cluster=0, src_pregs=[1, 2]), cycle=0)
+        iq.insert(make_inst(cluster=1, src_pregs=[3, 4]), cycle=0)
+        assert len(iq.select(cycle=0)) == 2
+        assert iq.port_stalls == 0
+
+    def test_port_stall_does_not_starve_forever(self):
+        iq, rf = self._port_limited_iq(ports=2)
+        for preg in (1, 2):
+            rf.make_ready(preg, 0)
+        insts = [
+            make_inst(cluster=cluster, src_pregs=[1, 2])
+            for cluster in range(4)
+        ]
+        for inst in insts:
+            iq.insert(inst, cycle=0)
+        issued = set()
+        for cycle in range(4):
+            issued.update(id(i) for i in iq.select(cycle=cycle))
+        # stalled clusters retry and drain within four cycles
+        assert issued == {id(i) for i in insts}
+
     def test_dra_issue_path_ignores_rf_ports(self):
         from repro.core.config import DRAConfig
 

@@ -15,6 +15,7 @@ from repro.obs.attribution import (
     LOAD_LOOP,
     OPERAND_LOOP,
     OTHER,
+    PORT_PRESSURE,
     LoopAttribution,
 )
 from repro.obs.events import (
@@ -196,7 +197,9 @@ class TestAttribution:
         assert report.useful_cycles + report.lost_cycles == report.total_cycles
         assert report.total_cycles > 0
         names = {entry.name for entry in report.entries}
-        assert names == {BRANCH_LOOP, LOAD_LOOP, OPERAND_LOOP, OTHER}
+        assert names == {
+            BRANCH_LOOP, LOAD_LOOP, OPERAND_LOOP, PORT_PRESSURE, OTHER,
+        }
 
     def test_branch_loop_is_active(self):
         result, _, attached = traced_run("go")
@@ -223,7 +226,7 @@ class TestAttribution:
         assert "DOES NOT" not in text
         payload = report.to_dict()
         assert payload["workload"] == "go"
-        assert len(payload["loops"]) == 4
+        assert len(payload["loops"]) == 5
         json.dumps(payload)  # must be JSON-clean
 
     def test_lost_ipc_sums_to_sensible_range(self):
@@ -231,6 +234,24 @@ class TestAttribution:
         report = attached["attribution"].report(result.stats)
         for entry in report.entries:
             assert report.lost_ipc(entry.name) >= 0.0
+
+    def test_port_pressure_bucket_reconciles_when_starved(self):
+        config = CoreConfig.base(5, rf_read_ports=4)
+        result, _, attached = traced_run("go", config)
+        report = attached["attribution"].report(result.stats)
+        assert report.reconciles
+        port = report.entry(PORT_PRESSURE)
+        # the occurrence count is exactly the kernel's dropped-issue
+        # counter — the stat this PR stops losing
+        assert port.occurrences == result.stats.port_stalls
+        assert port.occurrences > 0
+        assert attached["metrics"].verify_against(result.stats) == []
+
+    def test_port_pressure_silent_with_full_ports(self):
+        result, _, attached = traced_run("go", CoreConfig.base(5))
+        report = attached["attribution"].report(result.stats)
+        assert result.stats.port_stalls == 0
+        assert report.entry(PORT_PRESSURE).occurrences == 0
 
 
 class TestExporters:

@@ -410,7 +410,7 @@ class TestProfileBuilders:
         with open("tests/golden/ipc_numbers.json") as handle:
             golden = json.load(handle)
         profiles = {p.key: p for p in ipc_profiles()}
-        assert len(profiles) == 6
+        assert len(profiles) == 9
         for label, cell in golden["cells"].items():
             profile = profiles[f"ipc:int_test:{label}"]
             assert profile.exact == [

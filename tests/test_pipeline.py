@@ -183,6 +183,43 @@ class TestLoadResolutionLoop:
         sim = run(missy_profile(), config, instructions=2000)
         assert sim.stats.retired >= 2000
 
+    def test_ssr_never_misspeculates(self):
+        """SSR holds dependents at issue: nothing ever needs replay."""
+        config = CoreConfig.base().replace(load_recovery=LoadRecovery.SSR)
+        sim = run(missy_profile(), config, instructions=3000)
+        assert sim.stats.retired >= 3000
+        assert sim.stats.load_misspeculations == 0
+        assert sim.stats.reissues[ReissueCause.LOAD_MISS] == 0
+        assert sim.stats.reissues[ReissueCause.DEPENDENT_INVALID] == 0
+
+    def test_ssr_early_wakeup_beats_plain_stall(self):
+        """The selective-stall threshold releases consumers early enough
+        to hide part of the wakeup loop that STALL serialises."""
+        ipcs = {}
+        for policy, threshold in (
+            (LoadRecovery.STALL, 0), (LoadRecovery.SSR, 4),
+        ):
+            config = CoreConfig.base().replace(
+                load_recovery=policy, ssr_threshold=threshold, memdep=None
+            )
+            sim = run(missy_profile(), config, instructions=3000)
+            ipcs[policy] = sim.stats.ipc
+        assert ipcs[LoadRecovery.SSR] > ipcs[LoadRecovery.STALL]
+
+    def test_ssr_zero_threshold_matches_stall_exactly(self):
+        """T=0 degenerates to STALL cycle-for-cycle (the new law)."""
+        results = {}
+        for policy, threshold in (
+            (LoadRecovery.STALL, 0), (LoadRecovery.SSR, 0),
+        ):
+            config = CoreConfig.base().replace(
+                load_recovery=policy, ssr_threshold=threshold
+            )
+            sim = run(missy_profile(), config, instructions=3000)
+            results[policy] = (sim.stats.cycles, sim.stats.retired,
+                               sim.stats.issues)
+        assert results[LoadRecovery.SSR] == results[LoadRecovery.STALL]
+
     def test_iq_pressure_from_issued_entries(self):
         """Issued instructions hold IQ entries until confirmation."""
         sim = run(missy_profile(), instructions=3000)

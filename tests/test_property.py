@@ -356,3 +356,52 @@ class TestIssueQueueProperties:
             iq.insert(_iq_inst(cluster, [0, 1]), cycle=0)
         issued = iq.select(0)
         assert sum(len(inst.src_pregs) for inst in issued) <= ports
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),     # cluster
+                st.lists(st.integers(min_value=0, max_value=15),
+                         max_size=2),                      # sources
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.sampled_from(["oldest_first", "operand_share", "banked"]),
+        st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_port_demand_bounded_under_any_arbitration(
+        self, specs, arbitration, ports
+    ):
+        """No arbitration scheme ever over-subscribes the read ports.
+
+        The per-cycle bound each scheme guarantees: oldest-first charges
+        every operand read, operand sharing charges each *distinct* preg
+        once (same-cycle consumers share a broadcast), banking bounds
+        each bank's reads by its slice of the ports.
+        """
+        from repro.core.config import PortConfig
+
+        banks = 2
+        config = CoreConfig.base(
+            rf_read_ports=ports,
+            ports=PortConfig(arbitration=arbitration, banks=banks),
+        )
+        regfile = PhysRegFile(config.num_pregs)
+        for preg in range(16):
+            regfile.spec_avail[preg] = 0   # readiness never the limiter
+        iq = IssueQueue(config, regfile)
+        for cluster, srcs in specs:
+            iq.insert(_iq_inst(cluster, srcs), cycle=0)
+        for cycle in range(8):
+            issued = iq.select(cycle)
+            reads = [p for inst in issued for p in inst.src_pregs]
+            if arbitration == "operand_share":
+                assert len(set(reads)) <= ports
+            elif arbitration == "banked":
+                for bank in range(banks):
+                    demand = sum(1 for p in reads if p % banks == bank)
+                    assert demand <= ports // banks
+            else:
+                assert len(reads) <= ports

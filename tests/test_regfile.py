@@ -46,6 +46,24 @@ class TestPhysRegFile:
         with pytest.raises(ValueError):
             PhysRegFile(0)
 
+    def test_double_free_raises(self):
+        rf = PhysRegFile(4)
+        preg = rf.allocate()
+        rf.free(preg)
+        with pytest.raises(RuntimeError, match="double free"):
+            rf.free(preg)
+
+    def test_free_unallocated_raises(self):
+        rf = PhysRegFile(4)
+        # never allocated: still on the free list
+        with pytest.raises(RuntimeError, match="double free"):
+            rf.free(2)
+
+    def test_free_out_of_range_raises(self):
+        rf = PhysRegFile(4)
+        with pytest.raises(RuntimeError, match="out of range"):
+            rf.free(17)
+
 
 class TestRenameMap:
     def test_initial_state_is_ready(self):
@@ -91,3 +109,29 @@ class TestRenameMap:
         t1 = RenameMap(rf)
         assert rf.free_count == 256 - 2 * NUM_ARCH_REGS
         assert set(t0.map).isdisjoint(set(t1.map))
+
+    def test_squash_undo_cannot_free_twice(self):
+        """The squash path's undo_rename flows through the free guard.
+
+        A rename undone by a branch-squash walk returns its new preg to
+        the free list exactly once; a buggy second walk over the same
+        instruction must fault loudly instead of corrupting the list.
+        """
+        rf = PhysRegFile(256)
+        rmap = RenameMap(rf)
+        new, prev = rmap.rename_dest(5)
+        rmap.undo_rename(5, new, prev)
+        with pytest.raises(RuntimeError, match="double free"):
+            rf.free(new)
+
+    def test_refetch_squash_run_survives_free_guard(self):
+        """End-to-end REFETCH run: heavy squashing never double-frees."""
+        from repro.core.config import CoreConfig, LoadRecovery
+        from repro.core.simulator import simulate
+
+        stats = simulate(
+            "int_test",
+            CoreConfig.base(3, load_recovery=LoadRecovery.REFETCH),
+            instructions=800, warmup=5_000, detailed_warmup=200, seed=0,
+        ).stats
+        assert stats.retired >= 800

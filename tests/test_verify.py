@@ -455,6 +455,26 @@ class TestDifferentialChecks:
         )
         assert check.passed, f"[{backend}] {check.detail}"
 
+    @pytest.mark.parametrize("backend", _exact_backends())
+    def test_ssr_zero_threshold_equals_stall(self, backend):
+        from repro.verify import check_ssr_zero_threshold
+
+        check = check_ssr_zero_threshold(
+            instructions=800, warmup=10_000, detailed_warmup=200,
+            backend=backend,
+        )
+        assert check.passed, f"[{backend}] {check.detail}"
+
+    @pytest.mark.parametrize("backend", _exact_backends())
+    def test_sufficient_ports_equal_unlimited(self, backend):
+        from repro.verify import check_port_sufficiency
+
+        check = check_port_sufficiency(
+            instructions=800, warmup=10_000, detailed_warmup=200,
+            backend=backend,
+        )
+        assert check.passed, f"[{backend}] {check.detail}"
+
 
 # ---------------------------------------------------------------------------
 # Error-hierarchy cleanup (the WorkloadError-is-a-KeyError wart)
